@@ -1,0 +1,107 @@
+"""Ablation: pessimism of the single-actor SDF abstraction vs the CSDF model.
+
+Section V-C claims "there is hardly any loss in accuracy" when collapsing
+the Fig. 5 CSDF model into the Fig. 7 single-actor SDF model — the only
+loss being atomic end-of-firing token production.  This bench quantifies
+it: per-token production-time gap and end-to-end block-completion gap
+between the two models, over a sweep of block sizes.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    build_stream_csdf,
+    build_stream_sdf,
+)
+from repro.dataflow import execute
+
+import pytest
+
+from conftest import banner
+
+
+def make(eta):
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=(StreamSpec("s", Fraction(1, 10**6), 4100, block_size=eta),),
+        entry_copy=15,
+        exit_copy=1,
+    )
+
+
+def production_gap(eta, blocks=2):
+    system = make(eta)
+    fast = Fraction(1, 1000)
+    depth = (blocks + 1) * eta
+    csdf, info = build_stream_csdf(
+        system, "s", producer_period=fast, consumer_period=fast,
+        alpha0=depth, alpha3=depth, prequeued=depth,
+    )
+    sdf = build_stream_sdf(
+        system, "s", producer_period=fast, consumer_period=fast,
+        alpha0=depth, alpha3=depth,
+    )
+    fine = execute(csdf, iterations=blocks, record=True)
+    coarse = execute(sdf, iterations=blocks, record=True)
+    fine_tokens = fine.production_times(info.exit)[: blocks * eta]
+    coarse_tokens: list[float] = []
+    for t in coarse.production_times("vS"):
+        coarse_tokens.extend([t] * eta)
+    coarse_tokens = coarse_tokens[: blocks * eta]
+    gaps = [c - f for f, c in zip(fine_tokens, coarse_tokens)]
+    return gaps
+
+
+def test_abstraction_is_conservative(benchmark):
+    gaps = benchmark(production_gap, 16)
+    banner("SDF abstraction vs CSDF model (η=16)")
+    print(f"per-token gap: min {float(min(gaps)):.0f}, max {float(max(gaps)):.0f} cycles")
+    # conservative: the SDF model never predicts earlier production
+    assert all(g >= 0 for g in gaps)
+
+
+def test_abstraction_pessimism_bounded(benchmark):
+    """Token-level pessimism = intra-block drain (first token waits the
+    whole SDF firing, ≈ η·c0) + a constant per-block drift of at most
+    flush·c0 (the SDF period γ̂ carries the pipeline-flush allowance the
+    CSDF execution does not spend) — 'hardly any loss' relative to τ̂."""
+
+    blocks = 2
+
+    def sweep():
+        return {eta: max(production_gap(eta, blocks)) for eta in (4, 16, 64)}
+
+    worst = benchmark(sweep)
+    banner("abstraction pessimism vs block size (2 blocks)")
+    print(f"{'η':>5} {'max gap':>8} {'allowance':>10} {'τ̂':>7}")
+    for eta, gap in worst.items():
+        system = make(eta)
+        c0, flush = system.c0, system.flush_stages
+        allowance = eta * c0 + (blocks + 1) * flush * c0
+        tau = 4100 + (eta + flush) * c0
+        print(f"{eta:>5} {float(gap):>8.0f} {allowance:>10} {tau:>7}")
+        assert gap <= allowance
+    # the dominant term is the intra-block drain η·c0: token-level
+    # pessimism grows with η, but BLOCK-level pessimism (what Eq. 5 uses)
+    # stays at the constant flush drift — see the next test
+    assert worst[4] < worst[16] < worst[64]
+    assert worst[64] <= 64 * 15 + 3 * 2 * 15
+
+
+def test_per_block_drift_is_the_flush_allowance(benchmark):
+    """The last token of block k lags exactly k·(flush·c0 − ρ − δ): the
+    per-block pessimism is the unspent pipeline-flush term, constant and
+    small compared to τ̂ (0.6% for the demonstrator's η=10136)."""
+    eta, blocks = 16, 3
+    gaps = benchmark(production_gap, eta, blocks)
+    system = make(eta)
+    drift = system.flush_stages * system.c0 - 1 - 1  # flush·c0 − ρ − δ
+    last = [gaps[(k + 1) * eta - 1] for k in range(blocks)]
+    print(f"\nlast-token gap per block: {[round(float(g)) for g in last]} "
+          f"(drift/block = {drift})")
+    for k in range(1, blocks):
+        assert last[k] - last[k - 1] == pytest.approx(drift, abs=1)
+    assert last[0] <= 2 * drift

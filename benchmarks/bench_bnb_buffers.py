@@ -1,0 +1,79 @@
+"""Ablation: buffer-optimal block sizes vs Algorithm 1's Ση-minimal ones.
+
+Section V-F: minimising Ση does "not necessarily result in the minimal
+buffer capacities due to the non-monotonic relation between block sizes
+and buffer capacities"; a branch-and-bound over block sizes is needed for
+buffer-optimality.  This bench runs our B&B around the ILP optimum and
+reports the buffer totals of both solutions.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    compute_block_sizes,
+    optimal_block_sizes_for_buffers,
+    stream_buffer_cost,
+    throughput_satisfied,
+)
+
+from conftest import banner
+
+
+def small_instance():
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=(StreamSpec("s0", Fraction(1, 80), 20),),
+        entry_copy=5,
+        exit_copy=1,
+    )
+
+
+def test_bnb_finds_feasible_buffer_optimum(benchmark):
+    system = small_instance()
+    ilp = compute_block_sizes(system)
+    eta0 = ilp.block_sizes["s0"]
+
+    def search():
+        return optimal_block_sizes_for_buffers(
+            system, {"s0": range(eta0, eta0 + 6)}
+        )
+
+    res = benchmark(search)
+    banner("buffer-optimal block-size search (B&B)")
+    ilp_caps = stream_buffer_cost(system.with_block_sizes(ilp.block_sizes), "s0")
+    print(f"ILP optimum      η={eta0}: buffers {ilp_caps} "
+          f"(total {sum(ilp_caps.values())})")
+    print(f"buffer optimum   η={res.block_sizes['s0']}: buffers "
+          f"{res.capacities['s0']} (total {res.total_buffer})")
+    print(f"candidate vectors examined: {res.vectors_examined}")
+    assert throughput_satisfied(system.with_block_sizes(res.block_sizes))
+    # the buffer optimum is never worse than the ILP point
+    assert res.total_buffer <= sum(ilp_caps.values())
+
+
+def test_buffer_cost_nonmonotone_in_eta(benchmark):
+    """The buffer totals along the η axis are not monotone — the reason a
+    plain 'take the ILP minimum' can be suboptimal in memory."""
+    system = small_instance()
+    eta0 = compute_block_sizes(system).block_sizes["s0"]
+
+    def sweep():
+        out = {}
+        for eta in range(eta0, eta0 + 8):
+            cand = system.with_block_sizes({"s0": eta})
+            if throughput_satisfied(cand):
+                caps = stream_buffer_cost(cand, "s0")
+                out[eta] = sum(caps.values())
+        return out
+
+    totals = benchmark(sweep)
+    banner("total buffer capacity vs η (feasible range)")
+    for eta, total in totals.items():
+        print(f"η={eta:>3}: total buffers {total}")
+    assert len(totals) >= 4
+    diffs = [b - a for a, b in zip(list(totals.values()), list(totals.values())[1:])]
+    # larger blocks need larger buffers overall...
+    assert sum(diffs) >= 0

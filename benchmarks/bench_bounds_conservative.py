@@ -1,0 +1,109 @@
+"""EQ2-4: the analysis bounds against the cycle-level architecture.
+
+Regenerates the refinement claim quantitatively: for a sweep of block
+sizes and stream mixes, the measured block time and turnaround in the
+MPSoC simulation never exceed τ̂ (Eq. 2) / γ̂ (Eq. 4) computed with the
+architecture's measured per-sample costs, and the bounds stay tight
+(within the pipeline-flush allowance).
+"""
+
+from fractions import Fraction
+
+from repro.accel import MixerKernel
+from repro.arch import Get, MPSoC, Put, TaskSpec
+from repro.core import AcceleratorSpec, GatewaySystem, StreamSpec, gamma, tau_hat
+
+from conftest import banner
+
+
+def drive(etas, eps=15, delta=1, R=200, blocks=4):
+    soc = MPSoC(n_stations=8)
+    prod = soc.add_processor("p")
+    cons = soc.add_processor("c")
+    total = [e * blocks for e in etas]
+    ins = [prod.fifo_to(2, capacity=t + 8, name=f"in{i}") for i, t in enumerate(total)]
+    outs = [soc.software_fifo(4, cons, capacity=t + 8, name=f"out{i}")
+            for i, t in enumerate(total)]
+    chain = soc.shared_chain(
+        "g", [MixerKernel(0.0)],
+        [{"name": f"s{i}", "eta": etas[i], "in_fifo": ins[i], "out_fifo": outs[i],
+          "states": [MixerKernel(0.0).get_state()], "reconfigure_cycles": R}
+         for i in range(len(etas))],
+        entry_copy=eps, exit_copy=delta,
+    )
+
+    def producer(fifo, n):
+        def gen():
+            for k in range(n):
+                yield Put(fifo, float(k))
+        return gen
+
+    def consumer(fifo, n):
+        def gen():
+            for _ in range(n):
+                yield Get(fifo)
+        return gen
+
+    for i, t in enumerate(total):
+        prod.add_task(TaskSpec(f"p{i}", producer(ins[i], t)))
+        cons.add_task(TaskSpec(f"c{i}", consumer(outs[i], t)))
+    prod.start()
+    cons.start()
+    soc.run(until=(R + max(etas) * (eps + 10)) * blocks * (len(etas) + 2) + 10000)
+    return chain
+
+
+def calibrated(etas, eps=15, delta=1, R=200):
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("a", 3),),  # ρ + NI overhead
+        streams=tuple(StreamSpec(f"s{i}", Fraction(1, 10**9), R, block_size=e)
+                      for i, e in enumerate(etas)),
+        entry_copy=eps + 1,
+        exit_copy=delta + 3,
+    )
+
+
+def test_eq2_block_times_conservative_and_tight(benchmark):
+    etas = (16, 8)
+    chain = benchmark(drive, etas)
+    system = calibrated(etas)
+    banner("EQ2 — measured block time vs τ̂ (calibrated)")
+    print(f"{'stream':>7} {'η':>4} {'max τ':>7} {'τ̂':>7} {'slack':>6}")
+    for i, eta in enumerate(etas):
+        b = chain.binding(f"s{i}")
+        measured = max(c - a for a, c in zip(b.admissions, b.completions))
+        bound = tau_hat(system, f"s{i}")
+        print(f"{f's{i}':>7} {eta:>4} {measured:>7} {bound:>7} {bound - measured:>6}")
+        assert measured <= bound
+        assert bound <= 1.5 * measured  # not vacuous
+
+
+def test_eq4_turnaround_conservative(benchmark):
+    etas = (16, 16, 8)
+    chain = benchmark(drive, etas, blocks=5)
+    system = calibrated(etas)
+    banner("EQ4 — inter-completion gap vs γ̂")
+    for i in range(len(etas)):
+        b = chain.binding(f"s{i}")
+        gaps = [c2 - c1 for c1, c2 in zip(b.completions, b.completions[1:])]
+        bound = gamma(system, f"s{i}")
+        print(f"s{i}: max gap {max(gaps)} ≤ γ̂ {bound}")
+        assert max(gaps) <= bound
+
+
+def test_eq3_interference_grows_with_stream_count(benchmark):
+    """ε̂ (and hence γ̂) scales with the number of co-multiplexed streams —
+    and so does the measured turnaround."""
+
+    def measure(n_streams):
+        etas = (8,) * n_streams
+        chain = drive(etas, blocks=4)
+        b = chain.binding("s0")
+        gaps = [c2 - c1 for c1, c2 in zip(b.completions, b.completions[1:])]
+        return max(gaps)
+
+    worst = benchmark(measure, 3)
+    single = measure(1)
+    double = measure(2)
+    print(f"\nmax turnaround: 1 stream {single}, 2 streams {double}, 3 streams {worst}")
+    assert single < double < worst

@@ -1,0 +1,92 @@
+"""FIG5: construction and analysis of the per-stream CSDF model.
+
+Regenerates the model's structural properties: consistency, liveness,
+the repetition vector (one block per iteration), the Eq. 1 first-phase
+duration, and the admission semantics (data + space + idle checks) — and
+times model construction + one-iteration analysis as the benchmark.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    build_stream_csdf,
+    epsilon_hat,
+    rho_g0_first_phase,
+)
+from repro.dataflow import repetition_vector, validate_graph
+
+from conftest import banner
+
+
+def two_stream_system(eta=16):
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=(
+            StreamSpec("s0", Fraction(1, 60), 4100, block_size=eta),
+            StreamSpec("s1", Fraction(1, 120), 4100, block_size=eta // 2),
+        ),
+        entry_copy=15,
+        exit_copy=1,
+    )
+
+
+def build_and_validate(eta=16):
+    system = two_stream_system(eta)
+    graph, info = build_stream_csdf(system, "s0", prequeued=2 * eta)
+    report = validate_graph(graph)
+    reps = repetition_vector(graph)
+    return system, graph, info, report, reps
+
+
+def test_fig5_model_valid_and_live(benchmark):
+    system, graph, info, report, reps = benchmark(build_and_validate)
+    banner("FIG5 per-stream CSDF model")
+    print(f"actors: {sorted(graph.actors)}")
+    print(f"repetition vector: {reps}")
+    assert report.ok, report.errors
+
+
+def test_fig5_one_block_per_iteration(benchmark):
+    system, graph, info, report, reps = benchmark(build_and_validate, 16)
+    # one iteration = one complete block through the pipeline
+    assert reps["vG0"] == reps["vG1"] == 1
+    assert reps["vA0"] == reps["vP"] == reps["vC"] == 16
+
+
+def test_fig5_eq1_first_phase_includes_interference(benchmark):
+    system, graph, info, report, reps = benchmark(build_and_validate)
+    # ρ_G0[0] = ε̂_s + R_s + ε  (Eq. 1)
+    expected = rho_g0_first_phase(system, "s0")
+    assert graph.actor("vG0").duration[0] == expected
+    assert epsilon_hat(system, "s0") > 0  # other stream really contributes
+
+
+def test_fig5_space_check_edge_targets_entry_gateway(benchmark):
+    """The α3 space back-edge runs from the CONSUMER to the ENTRY gateway —
+    the paper's check-for-space contribution (Section V-G)."""
+    system, graph, info, report, reps = benchmark(build_and_validate)
+    space = graph.edge("space")
+    assert space.src == "vC"
+    assert space.dst == "vG0"
+    # consumed in phase 0 only, a whole block's worth at once
+    assert space.consumption[0] == 16
+    assert all(q == 0 for q in space.consumption[1:])
+
+
+def test_fig5_idle_edge_has_one_token(benchmark):
+    system, graph, info, report, reps = benchmark(build_and_validate)
+    idle = graph.edge("idle")
+    assert idle.src == "vG1" and idle.dst == "vG0"
+    assert idle.tokens == 1  # the pipeline starts idle
+    assert idle.production[-1] == 1  # released by vG1's LAST phase
+    assert sum(idle.production[:-1]) == 0
+
+
+def test_fig5_ni_buffers_are_two_deep(benchmark):
+    system, graph, info, report, reps = benchmark(build_and_validate)
+    # α1 = α2 = 2 (paper: "equal to the capacity of the buffers in the NIs")
+    assert graph.edge("cap:ni0").tokens == 2
+    assert graph.edge("cap:ni1").tokens == 2

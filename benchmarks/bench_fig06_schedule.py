@@ -1,0 +1,101 @@
+"""FIG6: the parameterized execution schedule of one block.
+
+Fig. 6's claim, as an executable check: in the admissible (self-timed)
+schedule of the Fig. 5 CSDF model, a complete block of η_s samples is
+processed in
+
+    τ_s ≤ τ̂_s = R_s + (η_s + 2) · max(ε, ρ_A, δ)          (Eq. 2)
+
+with the entry-gateway, accelerator and exit-gateway pipelining sample
+copies exactly as drawn.  The benchmark times schedule construction, the
+asserts reproduce the schedule's structure for a sweep of η_s.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    build_stream_csdf,
+    measure_block_time,
+    tau_hat,
+)
+from repro.dataflow import admissible_schedule
+
+from conftest import banner
+
+
+def make(eta, eps=15, rho=1, delta=1, R=4100):
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", rho),),
+        streams=(StreamSpec("s", Fraction(1, 10**6), R, block_size=eta),),
+        entry_copy=eps,
+        exit_copy=delta,
+    )
+
+
+def schedule_one_block(eta):
+    system = make(eta)
+    graph, info = build_stream_csdf(
+        system, "s", producer_period=1, consumer_period=1,
+        alpha0=2 * eta, alpha3=2 * eta, prequeued=2 * eta,
+    )
+    return admissible_schedule(graph, iterations=1), system, info, graph
+
+
+def test_fig6_schedule_structure(benchmark):
+    eta = 32
+    schedule, system, info, _g = benchmark(schedule_one_block, eta)
+    banner(f"FIG6 schedule, η={eta}, ε=15, ρ_A=δ=1, R=4100")
+    # the structural properties of Fig. 6:
+    # 1. vG0's first phase carries R + ε
+    assert schedule.end_of("vG0", 0) - schedule.start_of("vG0", 0) == 4100 + 15
+    # 2. the accelerator's k-th firing follows the k-th gateway phase
+    for k in range(3):
+        assert schedule.start_of("vA0", k) >= schedule.end_of("vG0", k)
+    # 3. the exit gateway produces last
+    assert schedule.completion_time("vG1") >= schedule.completion_time("vA0")
+    print(f"makespan {schedule.makespan}, τ̂ = {tau_hat(system, 's')}")
+
+
+def test_fig6_tau_within_bound_sweep(benchmark):
+    def sweep():
+        rows = []
+        for eta in (1, 4, 16, 64, 256):
+            system = make(eta)
+            graph, info = build_stream_csdf(
+                system, "s", producer_period=1, consumer_period=1,
+                alpha0=2 * eta, alpha3=2 * eta, prequeued=2 * eta,
+            )
+            tau = measure_block_time(graph, info, blocks=1)[0]
+            rows.append((eta, tau, tau_hat(system, "s")))
+        return rows
+
+    rows = benchmark(sweep)
+    banner("FIG6/EQ2: measured τ vs bound τ̂ = R + (η+2)·c0")
+    print(f"{'η':>5} {'τ (model)':>10} {'τ̂ (Eq. 2)':>10} {'slack':>7}")
+    for eta, tau, bound in rows:
+        print(f"{eta:>5} {tau:>10.0f} {bound:>10} {bound - tau:>7.0f}")
+        assert tau <= bound
+        # the bound is tight: within the 2·c0 flush allowance + ρ + δ
+        assert bound - tau <= 2 * 15 + 2
+
+
+def test_fig6_schedule_parameterized_in_eta(benchmark):
+    """τ grows affinely in η with slope c0 = max(ε, ρ, δ) — the schedule is
+    'parameterized in the block size' (Section III)."""
+
+    def taus():
+        out = {}
+        for eta in (8, 16, 32):
+            system = make(eta)
+            graph, info = build_stream_csdf(
+                system, "s", producer_period=1, consumer_period=1,
+                alpha0=2 * eta, alpha3=2 * eta, prequeued=2 * eta,
+            )
+            out[eta] = measure_block_time(graph, info)[0]
+        return out
+
+    t = benchmark(taus)
+    assert (t[16] - t[8]) / 8 == (t[32] - t[16]) / 16 == 15  # slope = c0

@@ -1,0 +1,58 @@
+"""FIG8: non-monotone minimum buffer capacities vs block size.
+
+Paper Fig. 8b table (reconstructed): η_s = 1..5 → α_s = 5, 6, 7, 8, 5 for
+the two-actor model of Fig. 8a (producer bursts η_s tokens, consumer drains
+5 per firing).  Reproduced EXACTLY by the deadlock-free minimum capacity;
+the max-throughput minimum shows the same non-monotone shape shifted up.
+"""
+
+from repro.dataflow import SDFGraph, min_capacity_for_liveness, min_capacity_single
+
+from conftest import banner
+
+PAPER_TABLE = {1: 5, 2: 6, 3: 7, 4: 8, 5: 5}
+
+
+def fig8_graph(eta: int) -> SDFGraph:
+    g = SDFGraph(f"fig8[{eta}]")
+    g.add_actor("vA", 1)
+    g.add_actor("vB", 5)
+    g.add_edge("vA", "vB", production=eta, consumption=5, name="ch")
+    return g
+
+
+def compute_table() -> dict[int, int]:
+    return {eta: min_capacity_for_liveness(fig8_graph(eta), "ch") for eta in range(1, 6)}
+
+
+def test_fig8_buffer_table_exact(benchmark):
+    table = benchmark(compute_table)
+    banner("FIG8b minimum buffer capacities")
+    print(f"{'η_s':>4} {'α_s (ours)':>11} {'α_s (paper)':>12}")
+    for eta, alpha in table.items():
+        print(f"{eta:>4} {alpha:>11} {PAPER_TABLE[eta]:>12}")
+    assert table == PAPER_TABLE
+
+
+def test_fig8_nonmonotone_in_both_directions(benchmark):
+    table = benchmark(compute_table)
+    # "for ηs = 1 and ηs = 2, the opposite is true"
+    assert table[1] < table[2]
+    # "the small block size requires a larger buffer capacity than the larger"
+    assert table[2] > table[5]
+
+
+def test_fig8_same_shape_under_max_throughput(benchmark):
+    def tput_table():
+        return {
+            eta: min_capacity_single(
+                fig8_graph(eta), "ch", target=None, actor="vB"
+            ).capacities["ch"]
+            for eta in range(1, 6)
+        }
+
+    table = benchmark(tput_table)
+    banner("FIG8b under a max-throughput objective (same non-monotone shape)")
+    print(" ".join(f"η={e}:α={a}" for e, a in table.items()))
+    assert table[1] < table[2]
+    assert table[4] > table[5]

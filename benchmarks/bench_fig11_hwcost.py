@@ -1,0 +1,54 @@
+"""FIG11: hardware costs of the components on the Virtex-6.
+
+Regenerates the per-component cost bars (Table-I entries exact, the
+entry/exit pair's internal split reconstructed to sum to the published
+pair total) and the paper's observation that the MicroBlaze dominates the
+gateway cost.
+"""
+
+from repro.hwcost import COMPONENTS, component
+
+from conftest import banner
+
+PAPER_EXACT = {
+    "entry_exit_pair": (3788, 4445),
+    "fir_downsampler": (6512, 10837),
+    "cordic": (1714, 1882),
+}
+
+
+def collect_costs():
+    return {name: (c.slices, c.luts) for name, c in COMPONENTS.items()}
+
+
+def test_fig11_component_costs(benchmark):
+    costs = benchmark(collect_costs)
+    banner("FIG11 hardware costs (Virtex-6)")
+    print(f"{'component':<22} {'slices':>7} {'LUTs':>7}")
+    for name, (s, l) in costs.items():
+        mark = " (Table I exact)" if name in PAPER_EXACT else " (Fig. 11 estimate)"
+        print(f"{name:<22} {s:>7} {l:>7}{mark}")
+    for name, (s, l) in PAPER_EXACT.items():
+        assert costs[name] == (s, l)
+
+
+def test_fig11_microblaze_dominates(benchmark):
+    costs = benchmark(collect_costs)
+    mb_s, mb_l = costs["microblaze"]
+    pair_s, pair_l = costs["entry_exit_pair"]
+    assert mb_s / pair_s > 0.5
+    assert mb_l / pair_l > 0.5
+
+
+def test_fig11_pair_split_consistent(benchmark):
+    costs = benchmark(collect_costs)
+    parts = ("microblaze", "entry_gateway_logic", "exit_gateway")
+    assert sum(costs[p][0] for p in parts) == costs["entry_exit_pair"][0]
+    assert sum(costs[p][1] for p in parts) == costs["entry_exit_pair"][1]
+
+
+def test_fig11_fir_is_most_expensive_accelerator(benchmark):
+    """Visible in Fig. 11: the FIR+down-sampler towers over the CORDIC."""
+    benchmark(collect_costs)
+    assert component("fir_downsampler").slices > 3 * component("cordic").slices
+    assert component("fir_downsampler").luts > 5 * component("cordic").luts

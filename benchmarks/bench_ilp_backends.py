@@ -1,0 +1,67 @@
+"""Ablation: the two ILP backends (SciPy/HiGHS MILP vs own branch-and-bound).
+
+Algorithm 1's result must not depend on the solver: both backends must
+return the same objective on the PAL instance and on a family of scaled
+instances, and the bench records their relative cost.
+"""
+
+from fractions import Fraction
+
+from repro.core import AcceleratorSpec, GatewaySystem, StreamSpec, compute_block_sizes
+
+from conftest import banner
+
+
+def make_instance(n_streams: int, load_pct: int = 60):
+    """n streams with distinct rates summing to load_pct% of capacity."""
+    weights = list(range(1, n_streams + 1))
+    base = Fraction(load_pct, 100 * 15 * sum(weights))  # c0 = 15
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=tuple(
+            StreamSpec(f"s{i}", base * w, 4100) for i, w in enumerate(weights)
+        ),
+        entry_copy=15,
+        exit_copy=1,
+    )
+
+
+def test_backends_agree_on_pal(benchmark, pal_system):
+    def both():
+        a = compute_block_sizes(pal_system, backend="scipy")
+        b = compute_block_sizes(pal_system, backend="bnb")
+        return a, b
+
+    a, b = benchmark(both)
+    banner("ILP backends on the PAL instance")
+    print(f"scipy objective {a.objective}, bnb objective {b.objective}")
+    assert a.objective == b.objective
+    assert a.block_sizes == b.block_sizes
+
+
+def test_backends_agree_on_instance_family(benchmark):
+    def sweep():
+        out = []
+        for n in (2, 3, 4, 5):
+            system = make_instance(n)
+            a = compute_block_sizes(system, backend="scipy")
+            b = compute_block_sizes(system, backend="bnb")
+            out.append((n, a.objective, b.objective))
+        return out
+
+    rows = benchmark(sweep)
+    banner("ILP backends across instance sizes")
+    print(f"{'streams':>8} {'scipy Ση':>9} {'bnb Ση':>8}")
+    for n, a, b in rows:
+        print(f"{n:>8} {a:>9} {b:>8}")
+        assert a == b
+
+
+def test_scipy_backend_alone(benchmark, pal_system):
+    res = benchmark(compute_block_sizes, pal_system, backend="scipy")
+    assert res.feasible
+
+
+def test_bnb_backend_alone(benchmark, pal_system):
+    res = benchmark(compute_block_sizes, pal_system, backend="bnb")
+    assert res.feasible

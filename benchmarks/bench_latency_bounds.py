@@ -1,0 +1,62 @@
+"""Latency: the L̂ = η/μ + γ̂ sample-latency bound vs measured latencies.
+
+The refinement theory guarantees maximum token arrival times (Section
+III); this bench regenerates the latency side of that guarantee: measured
+producer-to-output token latencies in the CSDF model stay below the
+closed-form bound, and the bound exposes the block-size/latency trade-off
+that motivates minimising Ση in Algorithm 1.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    build_stream_csdf,
+    sample_latency_bound,
+)
+from repro.dataflow import measure_latency
+
+from conftest import banner
+
+
+def make(eta, mu=Fraction(1, 60), R=200, eps=10):
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("a", 1),),
+        streams=(StreamSpec("s", mu, R, block_size=eta),),
+        entry_copy=eps,
+        exit_copy=1,
+    )
+
+
+def measured_worst(eta, **kw):
+    system = make(eta, **kw)
+    graph, info = build_stream_csdf(system, "s")
+    rep = measure_latency(graph, info.producer, info.exit, iterations=3)
+    return rep.worst, float(sample_latency_bound(system, "s"))
+
+
+def test_latency_bound_conservative(benchmark):
+    def sweep():
+        return {eta: measured_worst(eta) for eta in (4, 8, 16, 32)}
+
+    rows = benchmark(sweep)
+    banner("sample latency: measured worst vs L̂ = η/μ + γ̂")
+    print(f"{'η':>5} {'measured':>10} {'bound':>10}")
+    for eta, (worst, bound) in rows.items():
+        print(f"{eta:>5} {float(worst):>10.0f} {float(bound):>10.0f}")
+        assert worst <= bound
+
+
+def test_latency_grows_with_block_size(benchmark):
+    """Bigger blocks amortise R but cost latency — the trade-off behind
+    'minimize Ση' in Algorithm 1."""
+    rows = benchmark(lambda: {eta: measured_worst(eta) for eta in (4, 16, 64)})
+    worsts = [rows[eta][0] for eta in (4, 16, 64)]
+    assert worsts[0] < worsts[1] < worsts[2]
+
+
+def test_latency_bound_not_vacuous(benchmark):
+    worst, bound = benchmark(measured_worst, 16)
+    assert bound <= 3 * worst

@@ -1,0 +1,79 @@
+"""Scalability of the analysis machinery beyond the paper's 4-stream case.
+
+The paper evaluates one gateway pair with four streams; a reusable library
+must handle more.  These benches time Algorithm 1 and the closed-form
+bounds for growing stream counts and assert the results stay sound
+(feasible + minimal) as the instance grows.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    compute_block_sizes,
+    gamma,
+    throughput_satisfied,
+)
+
+from conftest import banner
+
+
+def many_streams(n, load_pct=70, R=4100, eps=15):
+    weights = list(range(1, n + 1))
+    base = Fraction(load_pct, 100 * eps * sum(weights))
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=tuple(
+            StreamSpec(f"s{i}", base * w, R) for i, w in enumerate(weights)
+        ),
+        entry_copy=eps,
+        exit_copy=1,
+    )
+
+
+def test_ilp_scales_to_32_streams(benchmark):
+    system = many_streams(32)
+    result = benchmark(compute_block_sizes, system)
+    banner("Algorithm 1 with 32 streams")
+    assigned = system.with_block_sizes(result.block_sizes)
+    assert throughput_satisfied(assigned)
+    print(f"Ση = {result.total}, γ̂ = {gamma(assigned, 's0')} cycles")
+
+
+def test_ilp_objective_grows_smoothly(benchmark):
+    def sweep():
+        return {n: compute_block_sizes(many_streams(n)).total for n in (2, 4, 8, 16)}
+
+    totals = benchmark(sweep)
+    banner("Ση vs stream count at constant 70% load")
+    for n, total in totals.items():
+        print(f"  {n:>3} streams: Ση = {total}")
+    values = list(totals.values())
+    assert all(b > a for a, b in zip(values, values[1:]))
+
+
+def test_backends_agree_at_scale(benchmark):
+    system = many_streams(12)
+
+    def both():
+        return (
+            compute_block_sizes(system, backend="scipy").objective,
+            compute_block_sizes(system, backend="bnb").objective,
+        )
+
+    a, b = benchmark(both)
+    assert a == b
+
+
+def test_bounds_cheap_at_scale(benchmark):
+    system = many_streams(64)
+    sizes = compute_block_sizes(system).block_sizes
+    assigned = system.with_block_sizes(sizes)
+
+    def all_bounds():
+        return [gamma(assigned, s.name) for s in assigned.streams]
+
+    gammas = benchmark(all_bounds)
+    assert len(set(gammas)) == 1  # one rotation length for everyone

@@ -1,0 +1,114 @@
+"""Extension bench: fast context switching (the paper's future work).
+
+Section VI-A closes with "we are working on techniques to improve the
+speed at which state can be saved and restored".  This bench quantifies
+what that buys, using the analysis stack end-to-end: dropping R_s from the
+prototype's 4100 cycles to a 4-cycle shadow-bank swap shrinks the
+Algorithm-1 block sizes, the round length, the worst-case latency γ̂ and
+the buffer footprint — and the architecture simulation confirms the
+functional equivalence and the reduced switch cost.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    compute_block_sizes,
+    gamma,
+)
+
+from conftest import banner
+
+
+def pal_like(R):
+    clock = 100_000_000
+    mu1 = Fraction(64 * 44_100, clock)
+    mu2 = Fraction(8 * 44_100, clock)
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("cordic", 1), AcceleratorSpec("fir", 1)),
+        streams=tuple(
+            StreamSpec(n, m, R)
+            for n, m in (("ch1.s1", mu1), ("ch2.s1", mu1),
+                         ("ch1.s2", mu2), ("ch2.s2", mu2))
+        ),
+        entry_copy=15,
+        exit_copy=1,
+    )
+
+
+def solve_for(R):
+    system = pal_like(R)
+    sizes = compute_block_sizes(system).block_sizes
+    assigned = system.with_block_sizes(sizes)
+    return sizes, gamma(assigned, "ch1.s1")
+
+
+def test_shadow_contexts_shrink_blocks_and_latency(benchmark):
+    def sweep():
+        return {R: solve_for(R) for R in (4100, 1024, 256, 64, 4)}
+
+    rows = benchmark(sweep)
+    banner("future work: block sizes & γ̂ vs reconfiguration cost R")
+    print(f"{'R':>6} {'η stage-1':>10} {'η stage-2':>10} {'γ̂ (cycles)':>12}")
+    prev_eta, prev_gamma = None, None
+    for R, (sizes, g) in rows.items():
+        print(f"{R:>6} {sizes['ch1.s1']:>10} {sizes['ch1.s2']:>10} {g:>12}")
+        if prev_eta is not None:
+            assert sizes["ch1.s1"] <= prev_eta
+            assert g <= prev_gamma
+        prev_eta, prev_gamma = sizes["ch1.s1"], g
+    # shadow switching (R=4) cuts the worst-case latency by >10x
+    assert rows[4][1] * 10 < rows[4100][1]
+
+
+def test_shadow_mode_on_architecture(benchmark):
+    """The simulated gateway with shadow contexts: same data, tiny switches."""
+    from repro.accel import MixerKernel
+    from repro.arch import Get, MPSoC, Put, TaskSpec
+
+    def run(mode):
+        soc = MPSoC(n_stations=8)
+        prod = soc.add_processor("p")
+        cons = soc.add_processor("c")
+        ins = [prod.fifo_to(2, capacity=64, name=f"in{i}") for i in range(2)]
+        outs = [soc.software_fifo(4, cons, capacity=64, name=f"out{i}")
+                for i in range(2)]
+        chain = soc.shared_chain(
+            "g", [MixerKernel(0.0)],
+            [{"name": f"s{i}", "eta": 4, "in_fifo": ins[i], "out_fifo": outs[i],
+              "states": [MixerKernel(0.0).get_state()],
+              "reconfigure_cycles": 4100} for i in range(2)],
+            entry_copy=15, exit_copy=1, context_mode=mode,
+        )
+        n = 16
+
+        def producer():
+            for _ in range(n):
+                yield Put(ins[0], 1.0)
+                yield Put(ins[1], 1.0)
+
+        def consumer():
+            for _ in range(n):
+                yield Get(outs[0])
+                yield Get(outs[1])
+
+        prod.add_task(TaskSpec("p", producer))
+        cons.add_task(TaskSpec("c", consumer))
+        prod.start()
+        cons.start()
+        soc.run(until=200_000)
+        return chain, soc.sim.now
+
+    def both():
+        return run("software"), run("shadow")
+
+    (sw, _t1), (sh, _t2) = benchmark(both)
+    banner("shadow vs software context switching on the MPSoC")
+    print(f"software: reconfig {sw.entry.reconfig_cycles} cycles over "
+          f"{sw.entry.blocks_admitted} blocks")
+    print(f"shadow  : reconfig {sh.entry.reconfig_cycles} cycles over "
+          f"{sh.entry.blocks_admitted} blocks")
+    assert sw.entry.blocks_admitted == sh.entry.blocks_admitted
+    assert sh.entry.reconfig_cycles * 100 < sw.entry.reconfig_cycles

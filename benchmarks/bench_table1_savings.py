@@ -1,0 +1,52 @@
+"""TAB1: hardware costs and savings of sharing (paper Table I).
+
+Published: non-shared 4×(F+D) + 4×C = 32904 slices / 50876 LUTs; shared
+(gateways + one of each) = 12014 / 17164; savings 20890 slices (63.5%) and
+33712 LUTs (66.3%); accelerator count reduced by 75%.  All reproduced
+exactly from the component database.
+"""
+
+from repro.hwcost import compare_sharing, paper_table1
+
+from conftest import banner
+
+
+def test_table1_exact(benchmark):
+    cmp = benchmark(paper_table1)
+    banner("TABLE I — hardware costs and savings")
+    print(cmp.table())
+    assert cmp.non_shared.slices == 32904
+    assert cmp.non_shared.luts == 50876
+    assert cmp.shared.slices == 12014
+    assert cmp.shared.luts == 17164
+    assert cmp.slice_savings == 20890
+    assert cmp.lut_savings == 33712
+    assert round(cmp.slice_savings_pct, 1) == 63.5
+    assert round(cmp.lut_savings_pct, 1) == 66.3
+
+
+def test_table1_accelerator_reduction(benchmark):
+    cmp = benchmark(paper_table1)
+    # "sharing reduces the number of accelerators by 75%"
+    assert cmp.accelerator_reduction_pct == 75.0
+
+
+def test_table1_savings_scale_with_stream_count(benchmark):
+    """Ablation: savings as a function of how many streams share the chain."""
+
+    def sweep():
+        return {
+            n: compare_sharing({"fir_downsampler": n, "cordic": n})
+            for n in (2, 3, 4, 6, 8)
+        }
+
+    rows = benchmark(sweep)
+    banner("TABLE I ablation — savings vs number of sharing streams")
+    print(f"{'streams':>8} {'non-shared':>11} {'shared':>8} {'savings%':>9}")
+    prev = -100.0
+    for n, cmp in rows.items():
+        print(f"{n:>8} {cmp.non_shared.slices:>11} {cmp.shared.slices:>8} "
+              f"{cmp.slice_savings_pct:>8.1f}%")
+        assert cmp.slice_savings_pct > prev  # monotone in stream count
+        prev = cmp.slice_savings_pct
+    assert rows[4].slice_savings_pct > 60  # the paper's operating point

@@ -1,0 +1,80 @@
+"""Ablation: state-space throughput vs MCM-on-HSDF throughput.
+
+The paper cannot use MCM for its parametric model (Section III); we have
+both engines for concrete instances and they must agree exactly.  This
+bench cross-validates them on gateway-shaped CSDF instances and records
+the cost of each method (the HSDF expansion grows with the repetition
+vector; the state space with the transient length).
+"""
+
+from fractions import Fraction
+
+from repro.core import AcceleratorSpec, GatewaySystem, StreamSpec, build_stream_csdf
+from repro.dataflow import (
+    SDFGraph,
+    bound_channel,
+    mcm_throughput,
+    steady_state_throughput,
+)
+
+from conftest import banner
+
+
+def gateway_csdf(eta):
+    system = GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=(StreamSpec("s", Fraction(1, 100), 50, block_size=eta),),
+        entry_copy=5,
+        exit_copy=1,
+    )
+    graph, _info = build_stream_csdf(
+        system, "s", producer_period=2, consumer_period=2,
+        alpha0=2 * eta, alpha3=2 * eta,
+    )
+    return graph
+
+
+def test_methods_agree_on_gateway_models(benchmark):
+    def sweep():
+        out = []
+        for eta in (2, 4, 8):
+            g = gateway_csdf(eta)
+            ss = steady_state_throughput(g, actor="vC").firing_rate
+            mc = mcm_throughput(g, "vC")
+            out.append((eta, ss, mc))
+        return out
+
+    rows = benchmark(sweep)
+    banner("state-space vs MCM on the Fig. 5 CSDF model")
+    print(f"{'η':>4} {'state-space':>14} {'MCM':>14}")
+    for eta, ss, mc in rows:
+        print(f"{eta:>4} {str(ss):>14} {str(mc):>14}")
+        assert ss == mc
+
+
+def test_statespace_method(benchmark):
+    g = gateway_csdf(8)
+    rate = benchmark(lambda: steady_state_throughput(g, actor="vC").firing_rate)
+    assert rate > 0
+
+
+def test_mcm_method(benchmark):
+    g = gateway_csdf(8)
+    rate = benchmark(mcm_throughput, g, "vC")
+    assert rate > 0
+
+
+def test_methods_agree_on_multirate_sdf(benchmark):
+    def both():
+        g = SDFGraph("m")
+        g.add_actor("A", 3)
+        g.add_actor("B", 2)
+        g.add_edge("A", "B", production=5, consumption=2, tokens=1, name="ch")
+        gb = bound_channel(g, "ch", 9)
+        return (
+            steady_state_throughput(gb, actor="B").firing_rate,
+            mcm_throughput(gb, "B"),
+        )
+
+    ss, mc = benchmark(both)
+    assert ss == mc

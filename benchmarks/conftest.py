@@ -1,0 +1,40 @@
+"""Shared fixtures/utilities for the benchmark harness.
+
+Every file regenerates one table or figure of the paper (see DESIGN.md's
+experiment index).  Benchmarks both *time* the analysis machinery and
+*assert* the reproduced numbers, so `pytest benchmarks/ --benchmark-only`
+doubles as the reproduction run.  Run with `-s` to see the regenerated
+rows next to the paper's published values.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import AcceleratorSpec, GatewaySystem, StreamSpec
+
+
+@pytest.fixture
+def pal_system():
+    """The PAL demonstrator's analysis model (4 streams, 2 accelerators)."""
+    from repro.app import pal_gateway_system
+
+    return pal_gateway_system()
+
+
+@pytest.fixture
+def small_system():
+    """A small system for model-level benchmarks."""
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=(
+            StreamSpec("s0", Fraction(1, 60), 100),
+            StreamSpec("s1", Fraction(1, 120), 100),
+        ),
+        entry_copy=15,
+        exit_copy=1,
+    )
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} ===")

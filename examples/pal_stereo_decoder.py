@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The paper's demonstrator: real-time PAL stereo audio decoding with one
+shared CORDIC and one shared FIR+down-sampler (Fig. 10, Section VI).
+
+The script:
+
+1. computes the demonstrator's block sizes with Algorithm 1 (the paper's
+   10136/1267 pair at full scale; scaled values are used for the simulated
+   run),
+2. synthesises a PAL-like baseband carrying two test tones (L = 440 Hz,
+   R = 1 kHz),
+3. decodes it on the cycle-level MPSoC — four streams multiplexed over the
+   two shared accelerator tiles by an entry/exit-gateway pair,
+4. reports audio quality, per-stream block statistics and gateway
+   utilization, and cross-checks against the functional (no-architecture)
+   reference decode.
+
+Run:  python examples/pal_stereo_decoder.py
+"""
+
+import numpy as np
+
+from repro.accel import (
+    PalChannelPlan,
+    correlation,
+    make_test_tones,
+    synthesize_pal_baseband,
+    tone_frequency,
+)
+from repro.app import (
+    PAPER_BLOCK_SIZES,
+    PalDecoderConfig,
+    decode_functional,
+    pal_block_sizes,
+    pal_gateway_system,
+    run_pal_on_soc,
+)
+from repro.core import analyze_utilization, gamma
+
+
+def main() -> None:
+    # -- 1. Algorithm 1 at the paper's full scale ---------------------------
+    sizes = pal_block_sizes()
+    print("Algorithm-1 block sizes for the 44.1 kHz demonstrator @100 MHz:")
+    print(f"  stage-1 streams: η = {sizes['ch1.s1']}   (paper: "
+          f"{PAPER_BLOCK_SIZES['stage1']})")
+    print(f"  stage-2 streams: η = {sizes['ch1.s2']}   (paper: "
+          f"{PAPER_BLOCK_SIZES['stage2']})")
+    system = pal_gateway_system().with_block_sizes(sizes)
+    util = analyze_utilization(system)
+    print(f"  round-robin rotation: γ = {gamma(system, 'ch1.s2')} cycles")
+    print(f"  gateway per-sample copying: {float(util.gateway_copy_fraction):.1%}"
+          f" | reconfiguration: {float(util.reconfig_fraction):.1%}")
+    print(f"  data movement vs state management (paper's 5%/95%): "
+          f"{float(util.data_processing_fraction):.1%} / "
+          f"{float(util.state_management_fraction):.1%}\n")
+
+    # -- 2. scaled simulated run --------------------------------------------
+    plan = PalChannelPlan()  # 512 kS/s front-end, 8 kS/s audio (64:1 as in Fig. 10)
+    config = PalDecoderConfig(plan=plan, eta_stage1=64, eta_stage2=8,
+                              reconfigure_cycles=100)
+    n_audio = 48
+    left, right = make_test_tones(n_audio, audio_rate=plan.audio_rate,
+                                  f_left=440, f_right=1000)
+    print(f"decoding {n_audio} audio samples "
+          f"({n_audio * plan.oversample} baseband samples) on the MPSoC ...")
+    l_rec, r_rec, handles = run_pal_on_soc(config, left, right)
+    print(f"  simulated {handles.soc.sim.now} cycles\n")
+
+    # -- 3. stream statistics -------------------------------------------------
+    print("per-stream gateway statistics:")
+    for name, b in handles.chain.bindings.items():
+        print(f"  {name:<8} η={b.eta:>3}  blocks={b.blocks_done:>3}  "
+              f"samples in/out = {b.samples_in}/{b.samples_out}")
+    entry = handles.chain.entry
+    total = handles.soc.sim.now
+    print(f"  entry-gateway: copy {entry.copy_cycles} cy "
+          f"({entry.copy_cycles / total:.1%}), reconfig "
+          f"{entry.reconfig_cycles} cy ({entry.reconfig_cycles / total:.1%})\n")
+
+    # -- 4. audio quality ------------------------------------------------------
+    skip = 8  # FIR/FM warm-up transient
+    fl = tone_frequency(l_rec[skip:], plan.audio_rate)
+    fr = tone_frequency(r_rec[skip:], plan.audio_rate)
+    cl = correlation(l_rec[skip:], left[skip:skip + len(l_rec) - skip])
+    cr = correlation(r_rec[skip:], right[skip:skip + len(r_rec) - skip])
+    print(f"recovered left : {fl:6.0f} Hz (sent 440 Hz), corr {cl:.3f}")
+    print(f"recovered right: {fr:6.0f} Hz (sent 1000 Hz), corr {cr:.3f}")
+
+    # -- 5. cross-check against the functional reference -----------------------
+    baseband = synthesize_pal_baseband(left, right, plan)
+    l_ref, r_ref = decode_functional(baseband, config)
+    l_ref -= np.mean(l_ref)
+    err = float(np.max(np.abs(l_rec - l_ref[: len(l_rec)])))
+    print(f"\nmax |architecture − functional reference| = {err:.2e} "
+          f"(sharing is transparent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+"""Command-line interface: regenerate the paper's headline numbers.
+
+Usage::
+
+    python -m repro blocksizes [--clock HZ] [--audio HZ] [--margin PCT]
+    python -m repro verify
+    python -m repro table1
+    python -m repro fig8
+    python -m repro utilization
+    python -m repro schedule [--eta N]
+
+Each subcommand prints one reproduced artefact; together they cover the
+evaluation section.  `pytest benchmarks/ --benchmark-only -s` runs the full
+harness with assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+
+def cmd_blocksizes(args: argparse.Namespace) -> int:
+    from .app import PAPER_BLOCK_SIZES, pal_block_sizes
+
+    # e.g. --margin 0.127 (percent) -> rate_margin = 1.00127
+    margin = Fraction(1) + Fraction(int(round(args.margin * 10000)), 1_000_000)
+    sizes = pal_block_sizes(
+        audio_rate=args.audio, clock_hz=args.clock, rate_margin=margin
+    )
+    print(f"Algorithm-1 block sizes (audio {args.audio} Hz, clock {args.clock} Hz, "
+          f"margin {args.margin}%):")
+    for name, eta in sorted(sizes.items()):
+        print(f"  η[{name}] = {eta}")
+    print(f"paper: stage-1 {PAPER_BLOCK_SIZES['stage1']}, "
+          f"stage-2 {PAPER_BLOCK_SIZES['stage2']} "
+          "(reproduced exactly at --margin 0.127)")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .app import pal_block_sizes, pal_gateway_system
+    from .core import verify_system
+
+    system = pal_gateway_system().with_block_sizes(pal_block_sizes())
+    report = verify_system(system)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .hwcost import paper_table1
+
+    cmp = paper_table1()
+    print(cmp.table())
+    print(f"accelerator instances reduced by {cmp.accelerator_reduction_pct:.0f}%")
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    from .dataflow import SDFGraph, min_capacity_for_liveness
+
+    print("Fig. 8b: minimum buffer capacity vs block size (consumer drains 5)")
+    for eta in range(1, 6):
+        g = SDFGraph("fig8")
+        g.add_actor("vA", 1)
+        g.add_actor("vB", 5)
+        g.add_edge("vA", "vB", production=eta, consumption=5, name="ch")
+        alpha = min_capacity_for_liveness(g, "ch")
+        print(f"  η={eta}: α={alpha}")
+    print("paper: 5, 6, 7, 8, 5 — non-monotone")
+    return 0
+
+
+def cmd_utilization(args: argparse.Namespace) -> int:
+    from .app import pal_block_sizes, pal_gateway_system
+    from .core import analyze_utilization
+
+    system = pal_gateway_system().with_block_sizes(pal_block_sizes())
+    u = analyze_utilization(system)
+    print(f"round length            : {u.round_length} cycles")
+    print(f"gateway per-sample copy : {float(u.gateway_copy_fraction):.1%}")
+    print(f"reconfiguration R_s     : {float(u.reconfig_fraction):.1%}")
+    print(f"data movement           : {float(u.data_processing_fraction):.1%} "
+          "(paper ≈5%)")
+    print(f"state management        : {float(u.state_management_fraction):.1%} "
+          "(paper ≈95%)")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from .core import (
+        AcceleratorSpec,
+        GatewaySystem,
+        StreamSpec,
+        build_stream_csdf,
+        parametric_schedule,
+    )
+    from .dataflow import admissible_schedule
+
+    system = GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 2),),
+        streams=(StreamSpec("s", Fraction(1, 100), 20, block_size=args.eta),),
+        entry_copy=5,
+        exit_copy=1,
+    )
+    print(parametric_schedule(system, "s").describe())
+    graph, _info = build_stream_csdf(
+        system, "s", producer_period=1, consumer_period=1,
+        alpha0=2 * args.eta, alpha3=2 * args.eta, prequeued=2 * args.eta,
+    )
+    sched = admissible_schedule(graph, iterations=1)
+    print()
+    print(sched.render())
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Full analysis of a user-supplied gateway system (JSON config)."""
+    from pathlib import Path
+
+    from .core import (
+        analyze_utilization,
+        compute_block_sizes,
+        gamma,
+        load_system,
+        sample_latency_bound,
+        sharing_load,
+        tau_hat,
+        verify_system,
+    )
+
+    system = load_system(Path(args.config).read_text())
+    load = sharing_load(system)
+    print(f"aggregate load c0·Σμ = {float(load):.4f}")
+    if load >= 1:
+        print("INFEASIBLE: the shared chain cannot serve these rates")
+        return 1
+    result = compute_block_sizes(system, backend=args.backend)
+    assigned = system.with_block_sizes(result.block_sizes)
+    print("\nblock sizes (Algorithm 1):")
+    for name, eta in result.block_sizes.items():
+        print(f"  η[{name}] = {eta}   τ̂ = {tau_hat(assigned, name)}  "
+              f"L̂ = {float(sample_latency_bound(assigned, name)):.0f} cycles")
+    print(f"rotation γ̂ = {gamma(assigned, assigned.streams[0].name)} cycles")
+    u = analyze_utilization(assigned)
+    print(f"gateway copy {float(u.gateway_copy_fraction):.1%}, "
+          f"reconfig {float(u.reconfig_fraction):.1%}")
+    report = verify_system(assigned)
+    print()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IPDPSW'15 accelerator-sharing reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("blocksizes", help="Algorithm-1 block sizes (PAL app)")
+    p.add_argument("--clock", type=int, default=100_000_000)
+    p.add_argument("--audio", type=int, default=44_100)
+    p.add_argument("--margin", type=float, default=0.0,
+                   help="rate margin in percent (0.127 reproduces the paper)")
+    p.set_defaults(fn=cmd_blocksizes)
+
+    p = sub.add_parser("verify", help="full verification of the PAL deployment")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("table1", help="Table I cost comparison")
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("fig8", help="Fig. 8 buffer non-monotonicity")
+    p.set_defaults(fn=cmd_fig8)
+
+    p = sub.add_parser("utilization", help="Section VI-A utilization split")
+    p.set_defaults(fn=cmd_utilization)
+
+    p = sub.add_parser("schedule", help="Fig. 6 schedule (symbolic + concrete)")
+    p.add_argument("--eta", type=int, default=6)
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("analyze", help="analyze a JSON gateway-system config")
+    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
+    p.set_defaults(fn=cmd_analyze)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

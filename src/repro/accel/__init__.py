@@ -1,0 +1,51 @@
+"""Stream-processing accelerator kernels (CORDIC, FIR+down-sampler) and the
+synthetic PAL front-end replacing the paper's RF hardware."""
+
+from .audio import (
+    correlation,
+    normalize_fm_output,
+    reconstruct_stereo,
+    tone_frequency,
+    tone_snr,
+)
+from .base import KernelError, StreamKernel, run_kernel
+from .cordic import (
+    CORDIC_ITERATIONS,
+    CordicKernel,
+    FMDiscriminatorKernel,
+    MixerKernel,
+    cordic_gain,
+    cordic_rotate,
+    cordic_vector,
+    fm_demod_batch,
+    mix_batch,
+)
+from .fir import PAPER_TAPS, FirDecimatorKernel, design_lowpass, fir_decimate_batch
+from .frontend import PalChannelPlan, make_test_tones, synthesize_pal_baseband
+
+__all__ = [
+    "CORDIC_ITERATIONS",
+    "CordicKernel",
+    "FMDiscriminatorKernel",
+    "FirDecimatorKernel",
+    "KernelError",
+    "MixerKernel",
+    "PAPER_TAPS",
+    "PalChannelPlan",
+    "StreamKernel",
+    "cordic_gain",
+    "cordic_rotate",
+    "cordic_vector",
+    "correlation",
+    "design_lowpass",
+    "fir_decimate_batch",
+    "fm_demod_batch",
+    "make_test_tones",
+    "mix_batch",
+    "normalize_fm_output",
+    "reconstruct_stereo",
+    "run_kernel",
+    "synthesize_pal_baseband",
+    "tone_frequency",
+    "tone_snr",
+]

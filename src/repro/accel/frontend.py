@@ -1,0 +1,119 @@
+"""Synthetic PAL baseband front-end.
+
+The paper's prototype receives a live PAL TV broadcast through an Epiq
+FMC-1RX RF front-end; we have no antenna, so this module synthesises the
+part of the PAL signal the audio decoder observes (the DESIGN.md
+substitution): a complex baseband stream containing
+
+* the two FM **audio carriers** — in PAL B/G stereo (A2), the first carrier
+  (offset ``f1`` from the vision carrier, nominally +5.5 MHz) carries L+R
+  and the second (``f2``, nominally +5.74 MHz) carries R,
+* optionally a crude AM **vision signal** at baseband acting as the in-band
+  interferer the low-pass stages must reject.
+
+All frequencies are configurable so tests can run at laptop-friendly sample
+rates while keeping the exact decoder chain (mix → LPF↓8 → FM demod → LPF↓8)
+and the paper's 64:1 overall rate ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PalChannelPlan", "synthesize_pal_baseband", "make_test_tones"]
+
+
+@dataclass(frozen=True)
+class PalChannelPlan:
+    """Frequency plan of the synthetic PAL signal (all in Hz).
+
+    The default instantiates a *scaled* plan: sample rate 64·f_audio with
+    carriers placed well inside the band, mirroring the structure (not the
+    absolute values) of the 2×FM layout at +5.5/+5.74 MHz.
+    """
+
+    sample_rate: float = 64 * 8000.0
+    carrier1: float = 128_000.0          # L+R carrier offset
+    carrier2: float = 160_000.0          # R carrier offset
+    deviation: float = 2_000.0           # FM frequency deviation
+    audio_rate: float = 8_000.0
+    vision_level: float = 0.0            # amplitude of the AM 'video' clutter
+    carrier_level: float = 1.0
+
+    def __post_init__(self) -> None:
+        nyq = self.sample_rate / 2
+        for f in (self.carrier1, self.carrier2):
+            if not 0 < f < nyq:
+                raise ValueError(f"carrier {f} Hz outside (0, {nyq}) Hz")
+        if self.deviation <= 0:
+            raise ValueError("deviation must be positive")
+        if self.sample_rate % self.audio_rate:
+            raise ValueError("sample_rate must be an integer multiple of audio_rate")
+
+    @property
+    def oversample(self) -> int:
+        """Input-to-audio rate ratio (64 in the paper's chain: two 8:1s)."""
+        return int(self.sample_rate / self.audio_rate)
+
+
+def _fm_modulate(baseband: np.ndarray, carrier: float, deviation: float,
+                 fs: float, level: float) -> np.ndarray:
+    """Complex FM signal at ``carrier`` Hz with the given deviation."""
+    inst_freq = carrier + deviation * baseband
+    phase = 2.0 * np.pi * np.cumsum(inst_freq) / fs
+    return level * np.exp(1j * phase)
+
+
+def synthesize_pal_baseband(
+    left: np.ndarray,
+    right: np.ndarray,
+    plan: PalChannelPlan | None = None,
+    noise_level: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Build the complex baseband stream carrying a stereo PAL audio signal.
+
+    ``left``/``right`` are audio-rate signals in [-1, 1]; they are upsampled
+    by zero-order hold to the plan's sample rate, FM-modulated onto the two
+    carriers (carrier 1: L+R, carrier 2: R — the PAL stereo convention the
+    software task inverts), summed with optional AM vision clutter and AWGN.
+    """
+    plan = plan or PalChannelPlan()
+    if len(left) != len(right):
+        raise ValueError("left/right audio must have equal length")
+    os = plan.oversample
+    lr = np.repeat(np.asarray(left, dtype=float) + np.asarray(right, dtype=float), os) / 2.0
+    r = np.repeat(np.asarray(right, dtype=float), os)
+    fs = plan.sample_rate
+
+    sig = _fm_modulate(lr, plan.carrier1, plan.deviation, fs, plan.carrier_level)
+    sig = sig + _fm_modulate(r, plan.carrier2, plan.deviation, fs, plan.carrier_level)
+
+    if plan.vision_level > 0:
+        n = np.arange(len(sig))
+        # crude AM 'vision' clutter at a low offset frequency
+        video = plan.vision_level * (1.0 + 0.5 * np.sin(2 * np.pi * 0.001 * n))
+        sig = sig + video * np.exp(2j * np.pi * (plan.carrier1 * 0.05) * n / fs)
+
+    if noise_level > 0:
+        rng = np.random.default_rng(seed)
+        sig = sig + noise_level * (
+            rng.standard_normal(len(sig)) + 1j * rng.standard_normal(len(sig))
+        ) / np.sqrt(2)
+    return sig
+
+
+def make_test_tones(
+    n_samples: int,
+    audio_rate: float = 8000.0,
+    f_left: float = 440.0,
+    f_right: float = 1000.0,
+    amplitude: float = 0.8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct L/R sine tones, the standard stereo-separation test signal."""
+    t = np.arange(n_samples) / audio_rate
+    left = amplitude * np.sin(2 * np.pi * f_left * t)
+    right = amplitude * np.sin(2 * np.pi * f_right * t)
+    return left, right

@@ -1,0 +1,21 @@
+"""The PAL stereo audio decoder application (paper Section VI)."""
+
+from .analysis_bridge import PAPER_BLOCK_SIZES, pal_block_sizes, pal_gateway_system
+from .pal_decoder import (
+    PalDecoderConfig,
+    PalSocHandles,
+    build_pal_soc,
+    decode_functional,
+    run_pal_on_soc,
+)
+
+__all__ = [
+    "PAPER_BLOCK_SIZES",
+    "PalDecoderConfig",
+    "PalSocHandles",
+    "build_pal_soc",
+    "decode_functional",
+    "pal_block_sizes",
+    "pal_gateway_system",
+    "run_pal_on_soc",
+]

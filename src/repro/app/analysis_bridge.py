@@ -1,0 +1,61 @@
+"""Bridge from the PAL application to the temporal analysis of repro.core.
+
+Derives the :class:`~repro.core.params.GatewaySystem` describing the PAL
+deployment — four streams (two per channel: the 64·f_audio stage-1 rate and
+the 8·f_audio stage-2 rate) sharing the CORDIC + FIR chain — so Algorithm 1
+can compute the block sizes the paper reports (10136 / 1267 at 44.1 kHz on
+the prototype's clock).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core import AcceleratorSpec, GatewaySystem, StreamSpec, compute_block_sizes
+
+__all__ = ["pal_gateway_system", "pal_block_sizes", "PAPER_BLOCK_SIZES"]
+
+#: the block sizes the paper reports for the 44.1 kHz demonstrator
+PAPER_BLOCK_SIZES = {"stage1": 10136, "stage2": 1267}
+
+
+def pal_gateway_system(
+    audio_rate: int = 44_100,
+    clock_hz: int = 100_000_000,
+    reconfigure: int = 4100,
+    entry_copy: int = 15,
+    exit_copy: int = 1,
+    rate_margin: Fraction = Fraction(1),
+) -> GatewaySystem:
+    """The PAL demonstrator as a :class:`GatewaySystem`.
+
+    Stage-1 streams consume the front-end rate ``64 × audio_rate``
+    (two 8:1 decimations between front-end and audio output); stage-2
+    streams consume ``8 × audio_rate``.  ``rate_margin`` scales the
+    requirements (the paper's exact η values correspond to ≈0.4% margin at
+    a 100 MHz clock — see EXPERIMENTS.md).
+    """
+    mu1 = Fraction(64 * audio_rate, clock_hz) * rate_margin
+    mu2 = Fraction(8 * audio_rate, clock_hz) * rate_margin
+    streams = (
+        StreamSpec("ch1.s1", mu1, reconfigure),
+        StreamSpec("ch2.s1", mu1, reconfigure),
+        StreamSpec("ch1.s2", mu2, reconfigure),
+        StreamSpec("ch2.s2", mu2, reconfigure),
+    )
+    accelerators = (
+        AcceleratorSpec("cordic", 1),
+        AcceleratorSpec("fir_downsampler", 1),
+    )
+    return GatewaySystem(
+        accelerators=accelerators,
+        streams=streams,
+        entry_copy=entry_copy,
+        exit_copy=exit_copy,
+    )
+
+
+def pal_block_sizes(**kwargs) -> dict[str, int]:
+    """Algorithm-1 block sizes for the PAL demonstrator."""
+    system = pal_gateway_system(**kwargs)
+    return compute_block_sizes(system).block_sizes

@@ -1,0 +1,44 @@
+"""Cycle-level model of the paper's heterogeneous MPSoC architecture.
+
+Substitutes the Virtex-6 prototype: dual-ring interconnect with posted
+writes, credit-based hardware FIFOs, C-FIFO software FIFOs, processor tiles
+under a budget scheduler, stallable accelerator tiles, a configuration bus,
+and the entry/exit-gateway pair that multiplexes streams over shared
+accelerators.
+"""
+
+from .accelerator_tile import AcceleratorTile
+from .cfifo import CFifo
+from .config_bus import ConfigBus
+from .gateway import EntryGateway, ExitGateway, GatewayError, StreamBinding
+from .ni import HardwareFifoChannel
+from .processor import ProcessorTile
+from .program import BuiltProgram, ProgramError, StreamProgram
+from .ring import DualRing, RingError
+from .scheduler import BudgetScheduler, Compute, Get, Put, Sleep, TaskSpec
+from .system import MPSoC, SharedChain
+
+__all__ = [
+    "AcceleratorTile",
+    "BudgetScheduler",
+    "BuiltProgram",
+    "CFifo",
+    "ProgramError",
+    "StreamProgram",
+    "Compute",
+    "ConfigBus",
+    "DualRing",
+    "EntryGateway",
+    "ExitGateway",
+    "GatewayError",
+    "Get",
+    "HardwareFifoChannel",
+    "MPSoC",
+    "ProcessorTile",
+    "Put",
+    "RingError",
+    "SharedChain",
+    "Sleep",
+    "StreamBinding",
+    "TaskSpec",
+]

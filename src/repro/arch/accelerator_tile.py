@@ -1,0 +1,124 @@
+"""Accelerator tiles (paper Section IV-B).
+
+An accelerator tile couples a coarsely-programmable stream kernel to the
+ring through its network interface: it consumes the incoming hardware-FIFO
+stream, fires the kernel (``ρ_A`` cycles per sample) and pushes results into
+the outgoing stream, stalling automatically when it "runs out of data or
+space" — the stalls fall out of the credit-based channels.
+
+Context switches (state save/load) are *passive* from the tile's point of
+view: the entry-gateway drives them over the configuration bus and only does
+so while the pipeline is idle — the tile itself just exposes
+``save_state``/``load_state``.  A tile swap while a word is mid-kernel would
+corrupt data exactly as the paper warns; the gateway protocol prevents it,
+and the tile asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..accel.base import StreamKernel
+from ..sim import SimulationError, Simulator, Tracer
+from .ni import HardwareFifoChannel
+
+__all__ = ["AcceleratorTile"]
+
+
+class AcceleratorTile:
+    """A stream kernel mounted on the ring between two hardware FIFOs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        kernel: StreamKernel,
+        input_channel: HardwareFifoChannel,
+        output_channel: HardwareFifoChannel,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.kernel = kernel
+        self.input = input_channel
+        self.output = output_channel
+        self.tracer = tracer
+        self.samples_in = 0
+        self.samples_out = 0
+        self.busy = False
+        self._shadow_bank: dict[str, dict[str, Any]] = {}
+        self._process = sim.process(self._run(), name=f"acc:{name}")
+
+    def _run(self):
+        while True:
+            word = yield from self.input.recv()
+            self.busy = True
+            if self.kernel.rho:
+                yield self.sim.timeout(self.kernel.rho)
+            outputs = self.kernel.process(word)
+            self.samples_in += 1
+            self.busy = False
+            if self.tracer:
+                self.tracer.log(self.sim.now, self.name, "fire",
+                                produced=len(outputs))
+            for out in outputs:
+                yield from self.output.send(out)
+                self.samples_out += 1
+
+    # -- context switching (driven by the entry-gateway) -------------------
+    @property
+    def idle(self) -> bool:
+        """No word is mid-kernel and nothing waits in the input buffer."""
+        return not self.busy and self.input.buffered == 0
+
+    def save_state(self) -> dict[str, Any]:
+        """Snapshot kernel state; only legal while the tile is idle."""
+        if self.busy:
+            raise SimulationError(
+                f"{self.name}: state save while processing would corrupt data"
+            )
+        return self.kernel.get_state()
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore kernel state; only legal while the tile is idle."""
+        if self.busy:
+            raise SimulationError(
+                f"{self.name}: state load while processing would corrupt data"
+            )
+        self.kernel.set_state(state)
+
+    @property
+    def state_words(self) -> int:
+        """Context size in configuration-bus words."""
+        return self.kernel.state_words
+
+    # -- shadow contexts (the paper's future-work extension) ----------------
+    #
+    # Section VI-A: "we are working on techniques to improve the speed at
+    # which state can be saved and restored".  Shadow contexts realise
+    # that: the tile holds one complete register set per stream and a
+    # context switch is a constant-time bank swap instead of a
+    # word-by-word bus transfer.
+
+    def install_shadow(self, stream: str, state: dict[str, Any]) -> None:
+        """Preload a stream's context into the tile's shadow bank."""
+        self._shadow_bank[stream] = state
+
+    def activate_shadow(self, outgoing: str | None, incoming: str) -> None:
+        """Bank-swap contexts: park the outgoing stream's state, load the
+        incoming one.  Only legal while idle, like any context switch."""
+        if self.busy:
+            raise SimulationError(
+                f"{self.name}: shadow switch while processing would corrupt data"
+            )
+        if incoming not in self._shadow_bank:
+            raise SimulationError(
+                f"{self.name}: no shadow context installed for {incoming!r}"
+            )
+        if outgoing is not None:
+            self._shadow_bank[outgoing] = self.kernel.get_state()
+        self.kernel.set_state(self._shadow_bank[incoming])
+
+    def shadow_state(self, stream: str) -> dict[str, Any]:
+        """Inspect a parked shadow context (tests/diagnostics)."""
+        return self._shadow_bank[stream]

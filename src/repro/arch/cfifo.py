@@ -1,0 +1,121 @@
+"""C-FIFO software FIFOs (Gangwal et al. [12]; paper Section IV-A).
+
+Software FIFO communication between processing tiles uses shared-memory
+FIFOs with the C-FIFO synchronisation scheme: the producer owns the write
+pointer and keeps a *local copy* of the read pointer; the consumer owns the
+read pointer and a local copy of the write pointer.  Data and pointer
+updates travel as posted writes over the data ring; because the ring
+delivers flits between one (src, dst) pair in order, a pointer update never
+overtakes the data it covers.
+
+Timing model:
+
+* ``put`` blocks while the producer's local space view is zero; it then
+  writes the word and the write-pointer update into the consumer's memory
+  (two posted flits; the producer continues after ring acceptance),
+* ``get`` blocks while the consumer's local fill view is zero; it then reads
+  the word from local memory (free) and posts the read-pointer update back,
+  which replenishes the producer's space view on arrival.
+
+This matches the dataflow abstraction used in the analysis: space is
+released to the producer only after consumption, and availability reaches
+the consumer only after the (ring-delayed) write-pointer update.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..sim import Signal, SimulationError, Simulator, Tracer
+from .ring import DualRing
+
+__all__ = ["CFifo"]
+
+
+class CFifo:
+    """A software FIFO between two ring stations with C-FIFO synchronisation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ring: DualRing,
+        producer_station: int,
+        consumer_station: int,
+        capacity: int,
+        name: str = "cfifo",
+        tracer: Tracer | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError("C-FIFO needs capacity >= 1")
+        self.sim = sim
+        self.ring = ring
+        self.producer = producer_station
+        self.consumer = consumer_station
+        self.capacity = int(capacity)
+        self.name = name
+        self.tracer = tracer
+        # producer's local view of free space (read-pointer copy)
+        self._space = Signal(sim, initial=capacity, name=f"{name}.space")
+        # consumer's local view of available words (write-pointer copy)
+        self._avail = Signal(sim, initial=0, name=f"{name}.avail")
+        self._memory: deque[Any] = deque()  # consumer-side buffer contents
+        self.words_put = 0
+        self.words_got = 0
+
+    # -- producer ---------------------------------------------------------
+    def put(self, word: Any):
+        """Generator: claim space, post data + write-pointer update."""
+        yield self._space.acquire(1)
+        # data word (posted write into the consumer's FIFO memory)
+        accepted, _ = self.ring.post(
+            self.producer, self.consumer, word,
+            ring=DualRing.DATA, on_delivery=self._memory.append,
+        )
+        yield accepted
+        # write-pointer update; availability becomes visible on delivery
+        accepted2, _ = self.ring.post(
+            self.producer, self.consumer, None,
+            ring=DualRing.DATA, on_delivery=lambda _p: self._avail.release(1),
+        )
+        yield accepted2
+        self.words_put += 1
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, "put", word=word)
+
+    @property
+    def producer_space(self) -> int:
+        """Free space as currently visible to the producer."""
+        return self._space.count
+
+    # -- consumer ---------------------------------------------------------
+    def get(self):
+        """Generator: wait for a visible word, read it, post the rptr update."""
+        yield self._avail.acquire(1)
+        if not self._memory:
+            raise SimulationError(f"{self.name}: pointer/data ordering violated")
+        word = self._memory.popleft()
+        self.words_got += 1
+        # read-pointer update replenishes producer space on arrival
+        self.ring.post(
+            self.consumer, self.producer, None,
+            ring=DualRing.DATA, on_delivery=lambda _p: self._space.release(1),
+        )
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, "get", word=word)
+        return word
+
+    @property
+    def consumer_available(self) -> int:
+        """Words currently visible to the consumer."""
+        return self._avail.count
+
+    def level_debug(self) -> dict[str, int]:
+        """Snapshot of the distributed state (for tests/diagnostics)."""
+        return {
+            "space": self._space.count,
+            "avail": self._avail.count,
+            "memory": len(self._memory),
+            "put": self.words_put,
+            "got": self.words_got,
+        }

@@ -1,0 +1,70 @@
+"""The accelerator configuration bus (paper Sections IV-B/IV-C).
+
+"Each accelerator is connected to a bus to load and save its state and
+configuration.  This is used to provide context switches when different data
+streams are multiplexed."  The bus is a single shared resource: transfers
+serialise, each moving one word per ``word_time`` cycles.  The entry-gateway
+drives it during reconfiguration; the total save+restore time corresponds to
+the paper's ``R_s`` (4100 cycles in the prototype, dominated by the software
+save/restore loop on the MicroBlaze).
+"""
+
+from __future__ import annotations
+
+from ..sim import Signal, SimulationError, Simulator, Tracer
+
+__all__ = ["ConfigBus"]
+
+
+class ConfigBus:
+    """Serialised word-at-a-time state/configuration transport."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        word_time: int = 1,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if word_time < 1:
+            raise SimulationError("config bus word time must be >= 1 cycle")
+        self.sim = sim
+        self.word_time = int(word_time)
+        self.tracer = tracer
+        self._mutex = Signal(sim, initial=1, name="cfgbus")
+        self.words_transferred = 0
+        self.transactions = 0
+
+    def transfer(self, words: int, label: str = ""):
+        """Generator: move ``words`` over the bus (blocking, serialised)."""
+        if words < 0:
+            raise SimulationError("cannot transfer a negative word count")
+        yield self._mutex.acquire(1)
+        try:
+            if words:
+                yield self.sim.timeout(words * self.word_time)
+            self.words_transferred += words
+            self.transactions += 1
+            if self.tracer:
+                self.tracer.log(self.sim.now, "cfgbus", "transfer",
+                                words=words, label=label)
+        finally:
+            self._mutex.release(1)
+
+    def transfer_cycles(self, cycles: int, label: str = ""):
+        """Generator: occupy the bus for a fixed cycle count.
+
+        Used when the caller knows the end-to-end reconfiguration time
+        (the paper's measured ``R_s = 4100``) rather than a word count.
+        """
+        if cycles < 0:
+            raise SimulationError("cannot occupy the bus for negative time")
+        yield self._mutex.acquire(1)
+        try:
+            if cycles:
+                yield self.sim.timeout(cycles)
+            self.transactions += 1
+            if self.tracer:
+                self.tracer.log(self.sim.now, "cfgbus", "transfer_cycles",
+                                cycles=cycles, label=label)
+        finally:
+            self._mutex.release(1)

@@ -1,0 +1,273 @@
+"""Entry- and exit-gateways — the paper's mechanism (Sections III, IV-C).
+
+The **entry-gateway** multiplexes blocks of data from several streams over a
+chain of shared accelerator tiles under round-robin.  A block of stream
+``s`` is admitted only when *all three* of the paper's conditions hold:
+
+1. the pipeline is idle — the exit-gateway has signalled that every sample
+   of the previous block left the chain (otherwise a context switch would
+   corrupt in-flight data),
+2. a full block of ``η_s`` input samples is available in the stream's input
+   C-FIFO,
+3. the consumer buffer has room for the whole block's output — the
+   *check-for-space* that [8] lacks and without which no conservative CSDF
+   model exists (Section V-G).
+
+On admission the gateway context-switches the accelerators over the
+configuration bus (``R_s`` cycles) and DMA-copies the block into the chain
+at ``ε`` cycles per sample.  The **exit-gateway** converts the hardware
+flow-controlled stream back to the software C-FIFO (``δ`` cycles per
+sample) and raises the pipeline-idle signal after the block's last sample.
+
+Utilisation counters mirror the paper's Section VI-A discussion: copy
+cycles, reconfiguration cycles and idle time are accounted separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any
+
+from ..sim import FifoQueue, Signal, SimulationError, Simulator, Tracer
+from .accelerator_tile import AcceleratorTile
+from .cfifo import CFifo
+from .config_bus import ConfigBus
+from .ni import HardwareFifoChannel
+
+__all__ = ["StreamBinding", "EntryGateway", "ExitGateway", "GatewayError"]
+
+
+class GatewayError(SimulationError):
+    """Raised on malformed stream bindings or protocol violations."""
+
+
+@dataclass
+class StreamBinding:
+    """Everything the gateway pair needs to serve one multiplexed stream."""
+
+    name: str
+    eta: int
+    in_fifo: CFifo
+    out_fifo: CFifo
+    states: list[dict[str, Any]]
+    output_ratio: Fraction = Fraction(1)
+    reconfigure_cycles: int | None = None
+
+    blocks_done: int = 0
+    samples_in: int = 0
+    samples_out: int = 0
+    first_output_at: int | None = None
+    last_output_at: int | None = None
+    admissions: list[int] = field(default_factory=list)
+    completions: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.eta < 1:
+            raise GatewayError(f"stream {self.name!r}: block size must be >= 1")
+        out = self.eta * self.output_ratio
+        if out.denominator != 1 or out == 0:
+            raise GatewayError(
+                f"stream {self.name!r}: η={self.eta} with output ratio "
+                f"{self.output_ratio} does not yield a whole output block"
+            )
+
+    @property
+    def expected_out(self) -> int:
+        """Output samples produced by one block of ``eta`` inputs."""
+        return int(self.eta * self.output_ratio)
+
+
+class ExitGateway:
+    """Hardware→software flow-control converter + pipeline-idle detector."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        input_channel: HardwareFifoChannel,
+        idle: Signal,
+        exit_copy: int = 1,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.input = input_channel
+        self.idle = idle
+        self.exit_copy = int(exit_copy)
+        self.tracer = tracer
+        self._blocks = FifoQueue(sim, capacity=4, name=f"{name}.blocks")
+        self.samples_forwarded = 0
+        sim.process(self._run(), name=f"exitgw:{name}")
+
+    def begin_block(self, binding: StreamBinding) -> None:
+        """Called by the entry-gateway right before it streams a block."""
+        if not self._blocks.try_put(binding):
+            raise GatewayError(f"{self.name}: too many blocks in flight")
+
+    def _run(self):
+        while True:
+            binding: StreamBinding = yield self._blocks.get()
+            for _ in range(binding.expected_out):
+                word = yield from self.input.recv()
+                if self.exit_copy:
+                    yield self.sim.timeout(self.exit_copy)
+                yield from binding.out_fifo.put(word)
+                self.samples_forwarded += 1
+                binding.samples_out += 1
+                if binding.first_output_at is None:
+                    binding.first_output_at = self.sim.now
+                binding.last_output_at = self.sim.now
+            binding.blocks_done += 1
+            binding.completions.append(self.sim.now)
+            if self.tracer:
+                self.tracer.log(self.sim.now, self.name, "block_done",
+                                stream=binding.name)
+            # the pipeline is empty: allow the next block in
+            self.idle.release(1)
+
+
+class EntryGateway:
+    """Round-robin block scheduler + DMA + context-switch driver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        tiles: list[AcceleratorTile],
+        chain_input: HardwareFifoChannel,
+        exit_gateway: ExitGateway,
+        bindings: list[StreamBinding],
+        config_bus: ConfigBus,
+        entry_copy: int = 15,
+        poll_interval: int = 1,
+        context_mode: str = "software",
+        shadow_switch_cycles: int = 4,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if not bindings:
+            raise GatewayError("entry gateway needs at least one stream binding")
+        if context_mode not in ("software", "shadow"):
+            raise GatewayError(
+                f"context_mode must be 'software' or 'shadow', got {context_mode!r}"
+            )
+        if shadow_switch_cycles < 1:
+            raise GatewayError("shadow switch must take at least one cycle")
+        for b in bindings:
+            if len(b.states) != len(tiles):
+                raise GatewayError(
+                    f"stream {b.name!r}: {len(b.states)} contexts for {len(tiles)} tiles"
+                )
+        self.sim = sim
+        self.name = name
+        self.tiles = tiles
+        self.chain_input = chain_input
+        self.exit_gateway = exit_gateway
+        self.bindings = list(bindings)
+        self.config_bus = config_bus
+        self.entry_copy = int(entry_copy)
+        self.poll_interval = max(1, int(poll_interval))
+        self.context_mode = context_mode
+        self.shadow_switch_cycles = int(shadow_switch_cycles)
+        self.tracer = tracer
+        self.idle = exit_gateway.idle
+        if context_mode == "shadow":
+            # preload every stream's context into every tile's shadow bank
+            for binding in bindings:
+                for i, tile in enumerate(tiles):
+                    tile.install_shadow(binding.name, binding.states[i])
+
+        self._current: StreamBinding | None = None
+        self.copy_cycles = 0
+        self.reconfig_cycles = 0
+        self.wait_cycles = 0
+        self.blocks_admitted = 0
+        sim.process(self._run(), name=f"entrygw:{name}")
+
+    # -- admission test -----------------------------------------------------
+    def _ready(self, binding: StreamBinding) -> bool:
+        """The paper's three admission conditions, all non-blocking."""
+        return (
+            self.idle.count >= 1
+            and binding.in_fifo.consumer_available >= binding.eta
+            and binding.out_fifo.producer_space >= binding.expected_out
+        )
+
+    # -- context switch -----------------------------------------------------
+    def _reconfigure(self, binding: StreamBinding):
+        """Save the outgoing context, restore the incoming one (bus-timed).
+
+        In ``software`` mode the switch pays the word-by-word bus transfer
+        (or the binding's explicit ``R_s``); in ``shadow`` mode (the
+        paper's future-work extension) it is a constant-time bank swap.
+        """
+        start = self.sim.now
+        if self._current is not binding:
+            if self.context_mode == "shadow":
+                outgoing = self._current.name if self._current else None
+                for tile in self.tiles:
+                    tile.activate_shadow(outgoing, binding.name)
+                yield from self.config_bus.transfer_cycles(
+                    self.shadow_switch_cycles, label=f"shadow:{binding.name}"
+                )
+            else:
+                if self._current is not None:
+                    for i, tile in enumerate(self.tiles):
+                        self._current.states[i] = tile.save_state()
+                save_words = (
+                    sum(t.state_words for t in self.tiles) if self._current else 0
+                )
+                for i, tile in enumerate(self.tiles):
+                    tile.load_state(binding.states[i])
+                load_words = sum(t.state_words for t in self.tiles)
+                if binding.reconfigure_cycles is not None:
+                    yield from self.config_bus.transfer_cycles(
+                        binding.reconfigure_cycles, label=f"R:{binding.name}"
+                    )
+                else:
+                    yield from self.config_bus.transfer(
+                        save_words + load_words, label=f"ctx:{binding.name}"
+                    )
+            self._current = binding
+        self.reconfig_cycles += self.sim.now - start
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, "reconfigured",
+                            stream=binding.name, cycles=self.sim.now - start)
+
+    # -- main loop ------------------------------------------------------------
+    def _run(self):
+        rr = 0
+        while True:
+            # one full rotation looking for an admissible stream
+            admitted = False
+            for offset in range(len(self.bindings)):
+                binding = self.bindings[(rr + offset) % len(self.bindings)]
+                if not self._ready(binding):
+                    continue
+                rr = (rr + offset + 1) % len(self.bindings)
+                yield from self._process_block(binding)
+                admitted = True
+                break
+            if not admitted:
+                self.wait_cycles += self.poll_interval
+                yield self.sim.timeout(self.poll_interval)
+
+    def _process_block(self, binding: StreamBinding):
+        yield self.idle.acquire(1)
+        self.blocks_admitted += 1
+        binding.admissions.append(self.sim.now)
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, "admit",
+                            stream=binding.name, eta=binding.eta)
+        yield from self._reconfigure(binding)
+        self.exit_gateway.begin_block(binding)
+        copy_start = self.sim.now
+        for _ in range(binding.eta):
+            word = yield from binding.in_fifo.get()
+            if self.entry_copy:
+                yield self.sim.timeout(self.entry_copy)
+            yield from self.chain_input.send(word)
+            binding.samples_in += 1
+        self.copy_cycles += self.sim.now - copy_start
+        # NOTE: the idle token is released by the exit gateway once the
+        # block's last output sample has left the pipeline.

@@ -1,0 +1,295 @@
+"""The application support library (paper Section IV-B).
+
+"Accelerators are chained together at run-time by a description written by
+a programmer which describes the flow of data between tiles.  A support
+library abstracts the implementation details and allows a programmer to
+simply connect blocks of functionality."
+
+:class:`StreamProgram` is that library for the simulated MPSoC: declare
+tasks, shared accelerator chains, gateway-multiplexed streams and plain
+software channels by name, then :meth:`build` materialises the whole system
+— ring stations, C-FIFOs, gateway pairs, task scheduling — and hands back
+typed handles.
+
+Task factories receive a dict of their named ports (each a
+:class:`~repro.arch.cfifo.CFifo`) and return the task generator::
+
+    def feeder(io):
+        def gen():
+            for s in samples:
+                yield Put(io["out"], s)
+        return gen
+
+    prog = StreamProgram("demo")
+    prog.add_task("fe", feeder, ports=["out"])
+    prog.add_task("sink", drain, ports=["in"])
+    prog.add_chain("gw", [CordicKernel()], entry_copy=15)
+    prog.add_stream("s0", chain="gw", eta=8,
+                    states=[CordicKernel("mix", 0.1).get_state()],
+                    src=("fe", "out"), dst=("sink", "in"),
+                    reconfigure=4100)
+    built = prog.build()
+    built.soc.run(until=100_000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..accel.base import StreamKernel
+from ..sim import SimulationError
+from .cfifo import CFifo
+from .processor import ProcessorTile
+from .scheduler import TaskSpec
+from .system import MPSoC, SharedChain
+
+__all__ = ["StreamProgram", "BuiltProgram", "ProgramError"]
+
+
+class ProgramError(SimulationError):
+    """Raised for malformed program descriptions."""
+
+
+@dataclass
+class _TaskDecl:
+    name: str
+    factory: Callable[[dict[str, CFifo]], Callable[[], Any]]
+    ports: list[str]
+    priority: int = 0
+    budget: int = 10**9
+    period: int = 10**9
+
+
+@dataclass
+class _ChainDecl:
+    name: str
+    kernels: list[StreamKernel]
+    entry_copy: int = 15
+    exit_copy: int = 1
+    ni_capacity: int = 2
+    context_mode: str = "software"
+
+
+@dataclass
+class _StreamDecl:
+    name: str
+    chain: str
+    eta: int
+    states: list[dict[str, Any]]
+    src: tuple[str, str]
+    dst: tuple[str, str]
+    reconfigure: int | None = None
+    in_capacity: int | None = None
+    out_capacity: int | None = None
+
+
+@dataclass
+class _ChannelDecl:
+    name: str
+    src: tuple[str, str]
+    dst: tuple[str, str]
+    capacity: int
+
+
+@dataclass
+class BuiltProgram:
+    """Handles into a materialised program."""
+
+    soc: MPSoC
+    tiles: dict[str, ProcessorTile]
+    chains: dict[str, SharedChain]
+    fifos: dict[str, CFifo]
+
+    def run(self, until: int) -> None:
+        self.soc.run(until)
+
+
+class StreamProgram:
+    """Declarative description of a stream-processing application."""
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self._tasks: dict[str, _TaskDecl] = {}
+        self._chains: dict[str, _ChainDecl] = {}
+        self._streams: dict[str, _StreamDecl] = {}
+        self._channels: dict[str, _ChannelDecl] = {}
+
+    # -- declarations -----------------------------------------------------
+    def add_task(
+        self,
+        name: str,
+        factory: Callable[[dict[str, CFifo]], Callable[[], Any]],
+        ports: list[str],
+        priority: int = 0,
+        budget: int = 10**9,
+        period: int = 10**9,
+    ) -> None:
+        """Declare a software task with named FIFO ports."""
+        if name in self._tasks:
+            raise ProgramError(f"duplicate task {name!r}")
+        self._tasks[name] = _TaskDecl(name, factory, list(ports), priority, budget, period)
+
+    def add_chain(
+        self,
+        name: str,
+        kernels: list[StreamKernel],
+        entry_copy: int = 15,
+        exit_copy: int = 1,
+        ni_capacity: int = 2,
+        context_mode: str = "software",
+    ) -> None:
+        """Declare a gateway-managed shared accelerator chain."""
+        if name in self._chains:
+            raise ProgramError(f"duplicate chain {name!r}")
+        if not kernels:
+            raise ProgramError(f"chain {name!r} needs at least one kernel")
+        self._chains[name] = _ChainDecl(
+            name, list(kernels), entry_copy, exit_copy, ni_capacity, context_mode
+        )
+
+    def add_stream(
+        self,
+        name: str,
+        chain: str,
+        eta: int,
+        states: list[dict[str, Any]],
+        src: tuple[str, str],
+        dst: tuple[str, str],
+        reconfigure: int | None = None,
+        in_capacity: int | None = None,
+        out_capacity: int | None = None,
+    ) -> None:
+        """Declare a stream multiplexed over a chain, between two task ports."""
+        if name in self._streams:
+            raise ProgramError(f"duplicate stream {name!r}")
+        self._streams[name] = _StreamDecl(
+            name, chain, int(eta), list(states), tuple(src), tuple(dst),
+            reconfigure, in_capacity, out_capacity,
+        )
+
+    def add_channel(
+        self, name: str, src: tuple[str, str], dst: tuple[str, str], capacity: int
+    ) -> None:
+        """Declare a plain task-to-task software FIFO (no accelerators)."""
+        if name in self._channels:
+            raise ProgramError(f"duplicate channel {name!r}")
+        self._channels[name] = _ChannelDecl(name, tuple(src), tuple(dst), int(capacity))
+
+    # -- validation ----------------------------------------------------------
+    def _check(self) -> None:
+        if not self._tasks:
+            raise ProgramError("a program needs at least one task")
+        port_refs: dict[tuple[str, str], str] = {}
+
+        def claim(endpoint: tuple[str, str], what: str) -> None:
+            task, port = endpoint
+            if task not in self._tasks:
+                raise ProgramError(f"{what}: unknown task {task!r}")
+            if port not in self._tasks[task].ports:
+                raise ProgramError(f"{what}: task {task!r} has no port {port!r}")
+            if endpoint in port_refs:
+                raise ProgramError(
+                    f"{what}: port {task}.{port} already used by {port_refs[endpoint]}"
+                )
+            port_refs[endpoint] = what
+
+        for s in self._streams.values():
+            if s.chain not in self._chains:
+                raise ProgramError(f"stream {s.name!r}: unknown chain {s.chain!r}")
+            n_kernels = len(self._chains[s.chain].kernels)
+            if len(s.states) != n_kernels:
+                raise ProgramError(
+                    f"stream {s.name!r}: {len(s.states)} contexts for "
+                    f"{n_kernels} kernels"
+                )
+            claim(s.src, f"stream {s.name!r} source")
+            claim(s.dst, f"stream {s.name!r} sink")
+        for c in self._channels.values():
+            claim(c.src, f"channel {c.name!r} source")
+            claim(c.dst, f"channel {c.name!r} sink")
+        unused = {
+            (t.name, p)
+            for t in self._tasks.values()
+            for p in t.ports
+            if (t.name, p) not in port_refs
+        }
+        if unused:
+            raise ProgramError(f"unconnected ports: {sorted(unused)}")
+
+    # -- build --------------------------------------------------------------
+    def build(self, trace: bool = False) -> BuiltProgram:
+        """Materialise the program on a fresh MPSoC."""
+        self._check()
+        stations = len(self._tasks) + sum(
+            2 + len(c.kernels) for c in self._chains.values()
+        )
+        soc = MPSoC(n_stations=max(2, stations), trace=trace)
+
+        tiles = {name: soc.add_processor(name) for name in self._tasks}
+
+        # precompute gateway station numbers (claimed in declaration order)
+        next_station = len(self._tasks)
+        chain_stations: dict[str, tuple[int, int]] = {}
+        for cname, c in self._chains.items():
+            entry = next_station
+            exit_ = entry + 1 + len(c.kernels)
+            chain_stations[cname] = (entry, exit_)
+            next_station = exit_ + 1
+
+        fifos: dict[str, CFifo] = {}
+        port_map: dict[str, dict[str, CFifo]] = {t: {} for t in self._tasks}
+
+        # plain channels
+        for c in self._channels.values():
+            fifo = soc.software_fifo(
+                tiles[c.src[0]], tiles[c.dst[0]], c.capacity, name=c.name
+            )
+            fifos[c.name] = fifo
+            port_map[c.src[0]][c.src[1]] = fifo
+            port_map[c.dst[0]][c.dst[1]] = fifo
+
+        # gateway streams: producer -> entry gateway, exit gateway -> consumer
+        chain_configs: dict[str, list[dict[str, Any]]] = {c: [] for c in self._chains}
+        for s in self._streams.values():
+            entry_station, exit_station = chain_stations[s.chain]
+            in_cap = s.in_capacity or max(2 * s.eta, 8)
+            in_fifo = soc.software_fifo(
+                tiles[s.src[0]], entry_station, in_cap, name=f"{s.name}.in"
+            )
+            ratio = 1
+            for k in self._chains[s.chain].kernels:
+                ratio = ratio * k.output_ratio
+            out_cap = s.out_capacity or max(int(s.eta * ratio) * 2, 8)
+            out_fifo = soc.software_fifo(
+                exit_station, tiles[s.dst[0]], out_cap, name=f"{s.name}.out"
+            )
+            fifos[f"{s.name}.in"] = in_fifo
+            fifos[f"{s.name}.out"] = out_fifo
+            port_map[s.src[0]][s.src[1]] = in_fifo
+            port_map[s.dst[0]][s.dst[1]] = out_fifo
+            chain_configs[s.chain].append({
+                "name": s.name, "eta": s.eta, "in_fifo": in_fifo,
+                "out_fifo": out_fifo, "states": s.states,
+                "reconfigure_cycles": s.reconfigure,
+            })
+
+        chains: dict[str, SharedChain] = {}
+        for cname, c in self._chains.items():
+            if not chain_configs[cname]:
+                raise ProgramError(f"chain {cname!r} has no streams")
+            chains[cname] = soc.shared_chain(
+                cname, c.kernels, chain_configs[cname],
+                entry_copy=c.entry_copy, exit_copy=c.exit_copy,
+                ni_capacity=c.ni_capacity, context_mode=c.context_mode,
+            )
+
+        for tname, decl in self._tasks.items():
+            gen_factory = decl.factory(port_map[tname])
+            tiles[tname].add_task(TaskSpec(
+                tname, gen_factory, priority=decl.priority,
+                budget=decl.budget, period=decl.period,
+            ))
+            tiles[tname].start()
+
+        return BuiltProgram(soc, tiles, chains, fifos)

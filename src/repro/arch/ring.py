@@ -1,0 +1,149 @@
+"""The low-cost dual-ring interconnect ([11], [14]; paper Section IV).
+
+Two unidirectional rings connect all tiles: the **data ring** carries
+payload flits in one direction and the **credit ring** carries flow-control
+credits in the opposite direction.  Key properties modelled:
+
+* **posted writes** — "a write completes for a producer when the
+  interconnect accepts, it does not wait until the write actually arrives"
+  (Section IV-A): :meth:`DualRing.post` returns an acceptance event plus a
+  separate delivery event,
+* **lossless, guaranteed acceptance** — destination tiles always accept;
+  there is no network-level flow control for memory writes (end-to-end
+  credits, where needed, are the NI's job — :mod:`repro.arch.ni`),
+* **guaranteed throughput** — each directed link forwards at most one flit
+  per cycle, flits already on the ring have priority over new injections
+  (modelled with per-link FIFO grant queues), so a flit's latency is bounded
+  by hops × hop_latency plus bounded blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim import Event, Signal, SimulationError, Simulator, Tracer
+
+__all__ = ["DualRing", "RingError"]
+
+
+class RingError(SimulationError):
+    """Raised on bad station indices or malformed sends."""
+
+
+class _Link:
+    """One directed ring segment: forwards at most one flit per cycle."""
+
+    __slots__ = ("sim", "grant")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.grant = Signal(sim, initial=1)  # the link is free
+
+    def traverse(self, hop_latency: int):
+        """Generator: occupy the link for one injection slot, then hop."""
+        yield self.grant.acquire(1)
+        # the flit occupies the link's injection slot for one cycle,
+        # then needs hop_latency cycles to reach the next station
+        yield self.sim.timeout(1)
+        self.grant.release(1)
+        if hop_latency > 1:
+            yield self.sim.timeout(hop_latency - 1)
+
+
+class DualRing:
+    """Data + credit rings over ``n_stations`` tiles.
+
+    Stations are integers ``0 .. n-1``; the data ring runs in increasing
+    direction, the credit ring in decreasing direction (credits travel
+    "in the opposite direction as the data" [11]).
+    """
+
+    DATA = "data"
+    CREDIT = "credit"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_stations: int,
+        hop_latency: int = 1,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if n_stations < 2:
+            raise RingError("a ring needs at least two stations")
+        if hop_latency < 1:
+            raise RingError("hop latency must be at least one cycle")
+        self.sim = sim
+        self.n = int(n_stations)
+        self.hop_latency = int(hop_latency)
+        self.tracer = tracer
+        self._links = {
+            self.DATA: [_Link(sim) for _ in range(self.n)],
+            self.CREDIT: [_Link(sim) for _ in range(self.n)],
+        }
+        self.flits_sent = {self.DATA: 0, self.CREDIT: 0}
+
+    # -- helpers ----------------------------------------------------------
+    def _check_station(self, station: int) -> None:
+        if not 0 <= station < self.n:
+            raise RingError(f"station {station} outside ring of {self.n}")
+
+    def hops(self, src: int, dst: int, ring: str) -> int:
+        """Number of links a flit crosses from src to dst on the given ring."""
+        self._check_station(src)
+        self._check_station(dst)
+        if src == dst:
+            raise RingError("src and dst stations must differ")
+        if ring == self.DATA:
+            return (dst - src) % self.n
+        if ring == self.CREDIT:
+            return (src - dst) % self.n
+        raise RingError(f"unknown ring {ring!r}")
+
+    def _route(self, src: int, ring: str, hops: int) -> list[_Link]:
+        step = 1 if ring == self.DATA else -1
+        links = self._links[ring]
+        out = []
+        cur = src
+        for _ in range(hops):
+            idx = cur if step == 1 else (cur - 1) % self.n
+            out.append(links[idx])
+            cur = (cur + step) % self.n
+        return out
+
+    # -- sending ------------------------------------------------------------
+    def post(
+        self,
+        src: int,
+        dst: int,
+        payload: Any = None,
+        ring: str = DATA,
+        on_delivery: Callable[[Any], None] | None = None,
+    ) -> tuple[Event, Event]:
+        """Posted write: returns ``(accepted, delivered)`` events.
+
+        ``accepted`` fires when the first link grants injection (the
+        producer's write "completes"); ``delivered`` fires when the flit
+        reaches ``dst`` — ``on_delivery(payload)`` runs at that instant.
+        """
+        hops = self.hops(src, dst, ring)
+        route = self._route(src, ring, hops)
+        accepted = self.sim.event()
+        delivered = self.sim.event()
+        self.flits_sent[ring] += 1
+
+        def flit():
+            first = True
+            for link in route:
+                yield from link.traverse(self.hop_latency)
+                if first:
+                    accepted.succeed()
+                    first = False
+            if self.tracer:
+                self.tracer.log(self.sim.now, f"ring.{ring}", "deliver",
+                                src=src, dst=dst)
+            if on_delivery is not None:
+                on_delivery(payload)
+            delivered.succeed(payload)
+
+        self.sim.process(flit(), name=f"flit:{ring}:{src}->{dst}")
+        return accepted, delivered

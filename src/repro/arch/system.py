@@ -1,0 +1,203 @@
+"""MPSoC builder: tiles + dual ring + gateways in one object (Fig. 1).
+
+:class:`MPSoC` owns the simulator, the dual-ring interconnect and the
+configuration bus, hands out ring stations, and wires the four tile types
+together.  The :meth:`shared_chain` helper builds the paper's entire
+gateway construct — entry-gateway tile, accelerator tiles, exit-gateway
+tile, NI channels with ``α = 2`` capacity — in one call, mirroring how the
+"support library abstracts the implementation details and allows a
+programmer to simply connect blocks of functionality" (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Sequence
+
+from ..accel.base import StreamKernel
+from ..sim import Signal, SimulationError, Simulator, Tracer
+from .accelerator_tile import AcceleratorTile
+from .cfifo import CFifo
+from .config_bus import ConfigBus
+from .gateway import EntryGateway, ExitGateway, StreamBinding
+from .ni import HardwareFifoChannel
+from .processor import ProcessorTile
+from .ring import DualRing
+
+__all__ = ["MPSoC", "SharedChain"]
+
+
+class SharedChain:
+    """A built entry-gateway + accelerators + exit-gateway construct."""
+
+    def __init__(
+        self,
+        entry: EntryGateway,
+        exit_gw: ExitGateway,
+        tiles: list[AcceleratorTile],
+        bindings: list[StreamBinding],
+    ) -> None:
+        self.entry = entry
+        self.exit = exit_gw
+        self.tiles = tiles
+        self.bindings = {b.name: b for b in bindings}
+
+    def binding(self, name: str) -> StreamBinding:
+        return self.bindings[name]
+
+    def utilization(self, horizon: int) -> dict[str, float]:
+        """Measured gateway utilization over ``horizon`` cycles.
+
+        The measured counterpart of
+        :func:`repro.core.utilization.analyze_utilization`: fractions of
+        time the entry-gateway spent copying samples, reconfiguring the
+        accelerators, and polling for an admissible stream.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        copy = self.entry.copy_cycles / horizon
+        reconf = self.entry.reconfig_cycles / horizon
+        wait = self.entry.wait_cycles / horizon
+        samples = sum(b.samples_in for b in self.bindings.values())
+        return {
+            "copy": copy,
+            "reconfig": reconf,
+            "wait": wait,
+            "data_transfer": samples / horizon,  # 1 cycle/sample of movement
+            "samples": samples,
+            "blocks": self.entry.blocks_admitted,
+        }
+
+
+class MPSoC:
+    """Top-level container for one simulated multiprocessor system."""
+
+    def __init__(
+        self,
+        n_stations: int,
+        hop_latency: int = 1,
+        config_bus_word_time: int = 1,
+        trace: bool = False,
+    ) -> None:
+        self.sim = Simulator()
+        self.tracer = Tracer(enabled=trace)
+        self.ring = DualRing(self.sim, n_stations, hop_latency=hop_latency,
+                             tracer=self.tracer if trace else None)
+        self.config_bus = ConfigBus(self.sim, word_time=config_bus_word_time,
+                                    tracer=self.tracer if trace else None)
+        self._next_station = 0
+        self.processors: list[ProcessorTile] = []
+
+    # -- stations -----------------------------------------------------------
+    def claim_station(self) -> int:
+        """Allocate the next free ring station index."""
+        if self._next_station >= self.ring.n:
+            raise SimulationError(
+                f"ring has only {self.ring.n} stations; build a bigger MPSoC"
+            )
+        idx = self._next_station
+        self._next_station += 1
+        return idx
+
+    # -- tiles ------------------------------------------------------------
+    def add_processor(self, name: str, quantum: int = 64) -> ProcessorTile:
+        tile = ProcessorTile(
+            self.sim, name, self.claim_station(), self.ring,
+            quantum=quantum, tracer=self.tracer if self.tracer.enabled else None,
+        )
+        self.processors.append(tile)
+        return tile
+
+    def software_fifo(self, src: ProcessorTile | int, dst: ProcessorTile | int,
+                      capacity: int, name: str) -> CFifo:
+        s = src.station if isinstance(src, ProcessorTile) else int(src)
+        d = dst.station if isinstance(dst, ProcessorTile) else int(dst)
+        return CFifo(self.sim, self.ring, s, d, capacity, name=name,
+                     tracer=self.tracer if self.tracer.enabled else None)
+
+    # -- the paper's construct ------------------------------------------------
+    def shared_chain(
+        self,
+        name: str,
+        kernels: Sequence[StreamKernel],
+        stream_configs: Sequence[dict[str, Any]],
+        entry_copy: int = 15,
+        exit_copy: int = 1,
+        ni_capacity: int = 2,
+        poll_interval: int = 1,
+        context_mode: str = "software",
+        shadow_switch_cycles: int = 4,
+    ) -> SharedChain:
+        """Build a gateway pair sharing a chain of accelerator kernels.
+
+        Each entry of ``stream_configs`` describes one multiplexed stream::
+
+            {
+                "name": str,
+                "eta": int,                  # block size (input samples)
+                "in_fifo": CFifo,            # producer -> entry gateway
+                "out_fifo": CFifo,           # exit gateway -> consumer
+                "states": [dict, ...],      # per-kernel initial contexts
+                "reconfigure_cycles": int | None,   # explicit R_s
+            }
+
+        The chain's aggregate output ratio (e.g. 1/8 for one decimator)
+        is computed from the kernels.
+        """
+        tracer = self.tracer if self.tracer.enabled else None
+        kernels = list(kernels)
+        if not kernels:
+            raise SimulationError("shared_chain needs at least one kernel")
+
+        entry_station = self.claim_station()
+        acc_stations = [self.claim_station() for _ in kernels]
+        exit_station = self.claim_station()
+
+        # NI channels: entry -> acc0 -> ... -> accN-1 -> exit
+        stations = [entry_station, *acc_stations, exit_station]
+        channels = [
+            HardwareFifoChannel(
+                self.sim, self.ring, a, b, capacity=ni_capacity,
+                name=f"{name}.ni{i}", tracer=tracer,
+            )
+            for i, (a, b) in enumerate(zip(stations, stations[1:]))
+        ]
+        tiles = [
+            AcceleratorTile(self.sim, f"{name}.acc{i}", k, channels[i], channels[i + 1],
+                            tracer=tracer)
+            for i, k in enumerate(kernels)
+        ]
+
+        ratio = Fraction(1)
+        for k in kernels:
+            ratio *= k.output_ratio
+
+        bindings = []
+        for cfg in stream_configs:
+            bindings.append(
+                StreamBinding(
+                    name=cfg["name"],
+                    eta=int(cfg["eta"]),
+                    in_fifo=cfg["in_fifo"],
+                    out_fifo=cfg["out_fifo"],
+                    states=list(cfg["states"]),
+                    output_ratio=ratio,
+                    reconfigure_cycles=cfg.get("reconfigure_cycles"),
+                )
+            )
+
+        idle = Signal(self.sim, initial=1, name=f"{name}.idle")
+        exit_gw = ExitGateway(self.sim, f"{name}.exit", channels[-1], idle,
+                              exit_copy=exit_copy, tracer=tracer)
+        entry = EntryGateway(
+            self.sim, f"{name}.entry", tiles, channels[0], exit_gw, bindings,
+            self.config_bus, entry_copy=entry_copy, poll_interval=poll_interval,
+            context_mode=context_mode, shadow_switch_cycles=shadow_switch_cycles,
+            tracer=tracer,
+        )
+        return SharedChain(entry, exit_gw, tiles, bindings)
+
+    # -- execution ------------------------------------------------------------
+    def run(self, until: int) -> None:
+        """Advance the whole system to the given cycle."""
+        self.sim.run(until=until)

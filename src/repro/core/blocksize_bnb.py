@@ -1,0 +1,180 @@
+"""Branch-and-bound search for buffer-optimal block sizes.
+
+Section V-F closes with: "To find the optimal block sizes resulting in the
+smallest buffer capacities, a computationally intensive branch-and-bound
+algorithm can be used.  This algorithm has to verify whether the throughput
+constraint of every stream is satisfied for every possible block size and
+must compute the accompanying minimum buffer capacities to find the total
+minimum buffer capacity."
+
+Because buffer capacities are **non-monotone** in the block sizes (Section
+V-E / Fig. 8), the minimum-Ση solution of Algorithm 1 does not necessarily
+minimise memory; this module explores the feasible block-size box exhaustively
+with pruning:
+
+* *feasibility pruning*: Eq. 5 couples the streams, so for fixed other-stream
+  sizes a lower bound on each η_s follows from Algorithm 1's constraint —
+  vectors below it are skipped wholesale;
+* *bound pruning*: a partial assignment whose already-committed buffer cost
+  exceeds the incumbent is cut.
+
+For every feasible vector the per-stream buffer capacities (α0 + α3 of the
+Fig. 7 SDF model) are minimised with the exact dataflow oracle
+(:func:`repro.dataflow.min_capacities`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..dataflow import GraphError, min_capacities
+from .params import GatewaySystem, ParameterError
+from .sdf_abstraction import build_stream_sdf
+from .timing import throughput_satisfied
+
+__all__ = ["BufferOptimalResult", "optimal_block_sizes_for_buffers", "stream_buffer_cost"]
+
+
+@dataclass(frozen=True)
+class BufferOptimalResult:
+    """Buffer-optimal block sizes and the associated capacities."""
+
+    block_sizes: dict[str, int]
+    capacities: dict[str, dict[str, int]]  # stream -> {edge: capacity}
+    total_buffer: int
+    vectors_examined: int
+
+
+def _stripped_sdf(system: GatewaySystem, stream_name: str):
+    """The Fig. 7 model with its default capacity back-edges removed."""
+    eta = system.stream(stream_name).block_size
+    base = build_stream_sdf(system, stream_name, alpha0=eta, alpha3=eta)
+    stripped = type(base)(base.name)
+    for name, actor in base.actors.items():
+        stripped.add_actor(name, duration=actor.duration[0])
+    for name, e in base.edges.items():
+        if not name.startswith("cap:"):
+            stripped.add_edge(e.src, e.dst, production=e.production[0],
+                              consumption=e.consumption[0], tokens=e.tokens, name=name)
+    return stripped
+
+
+def stream_buffer_cost(
+    system: GatewaySystem, stream_name: str, cap_limit: int = 512, exact: bool = False
+) -> dict[str, int]:
+    """Minimum α0/α3 capacities sustaining μ_s for one stream's SDF model.
+
+    The Fig. 7 buffers are re-sized from scratch (the builder's default
+    capacities are stripped and re-searched); the throughput target is the
+    stream's consumer running at exactly ``μ_s``.
+
+    Default mode sizes each channel by binary search with the other channel
+    generous, then verifies the pair jointly (throughput is monotone in
+    each capacity, so the searches are sound; the result is per-channel
+    minimal and in practice total-minimal for this topology).  Pass
+    ``exact=True`` for the exhaustive minimum-total search — exponential,
+    only for small block sizes.
+    """
+    from ..dataflow import bounded_graph, steady_state_throughput
+
+    s = system.stream(stream_name)
+    eta = s.block_size
+    if eta is None:
+        raise ParameterError(f"stream {stream_name!r} has no block size")
+    stripped = _stripped_sdf(system, stream_name)
+    channels = ["p2s", "s2c"]
+
+    if exact:
+        res = min_capacities(
+            stripped, channels, target=s.throughput, actor="vC", cap_limit=cap_limit
+        )
+        return dict(res.capacities)
+
+    limit = max(cap_limit, 4 * eta)
+    generous = {c: limit for c in channels}
+
+    def reaches(caps: dict[str, int]) -> bool:
+        g = bounded_graph(stripped, caps)
+        return steady_state_throughput(g, actor="vC").firing_rate >= s.throughput
+
+    if not reaches(generous):
+        raise GraphError(
+            f"stream {stream_name!r}: even capacities of {limit} miss μ_s"
+        )
+
+    result: dict[str, int] = {}
+    for chan in channels:
+        lo, hi = eta, limit  # a buffer must hold one block
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = dict(generous)
+            probe[chan] = mid
+            if reaches(probe):
+                hi = mid
+            else:
+                lo = mid + 1
+        result[chan] = lo
+
+    # verify jointly; channel interaction can cost a few extra slots
+    while not reaches(result):
+        bump = max(1, eta // 16)
+        for chan in channels:
+            result[chan] = min(limit, result[chan] + bump)
+        if all(result[c] >= limit for c in channels):
+            break
+    return result
+
+
+def optimal_block_sizes_for_buffers(
+    system: GatewaySystem,
+    eta_range: dict[str, range],
+    cap_limit: int = 512,
+) -> BufferOptimalResult:
+    """Exhaustive-with-pruning search over the given block-size box.
+
+    ``eta_range`` maps each stream name to the candidate η_s values (the
+    caller bounds the box, e.g. around the Algorithm-1 optimum).  Returns the
+    feasible vector with the smallest total buffer capacity; ties break
+    toward smaller Ση.
+    """
+    names = [s.name for s in system.streams]
+    missing = set(names) - set(eta_range)
+    if missing:
+        raise ParameterError(f"eta_range missing streams: {sorted(missing)}")
+
+    best: BufferOptimalResult | None = None
+    examined = 0
+    for vector in itertools.product(*(eta_range[n] for n in names)):
+        sizes = dict(zip(names, vector))
+        candidate = system.with_block_sizes(sizes)
+        if not throughput_satisfied(candidate):
+            continue
+        examined += 1
+        caps: dict[str, dict[str, int]] = {}
+        total = 0
+        feasible = True
+        for n in names:
+            if best is not None and total >= best.total_buffer:
+                feasible = False  # bound pruning: already worse
+                break
+            try:
+                caps[n] = stream_buffer_cost(candidate, n, cap_limit=cap_limit)
+            except GraphError:
+                feasible = False
+                break
+            total += sum(caps[n].values())
+        if not feasible:
+            continue
+        if (
+            best is None
+            or total < best.total_buffer
+            or (total == best.total_buffer and sum(vector) < sum(best.block_sizes.values()))
+        ):
+            best = BufferOptimalResult(sizes, caps, total, examined)
+    if best is None:
+        raise ParameterError("no feasible block-size vector in the given ranges")
+    return BufferOptimalResult(
+        best.block_sizes, best.capacities, best.total_buffer, examined
+    )

@@ -1,0 +1,106 @@
+"""JSON (de)serialisation of gateway-system descriptions.
+
+Lets designs live in version-controlled config files and feed the CLI::
+
+    {
+      "entry_copy": 15,
+      "exit_copy": 1,
+      "accelerators": [{"name": "cordic", "rho": 1}],
+      "streams": [
+        {"name": "radio_a", "samples_per_second": 2000000,
+         "clock_hz": 100000000, "reconfigure": 4100},
+        {"name": "radio_b", "throughput": [1, 200], "reconfigure": 4100}
+      ]
+    }
+
+Throughput is given either as ``samples_per_second`` + ``clock_hz`` or as
+an exact ``[numerator, denominator]`` samples-per-cycle fraction.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from .params import AcceleratorSpec, GatewaySystem, ParameterError, StreamSpec
+
+__all__ = ["system_to_dict", "system_from_dict", "dump_system", "load_system"]
+
+
+def system_to_dict(system: GatewaySystem) -> dict[str, Any]:
+    """Plain-dict representation of a gateway system."""
+    return {
+        "entry_copy": system.entry_copy,
+        "exit_copy": system.exit_copy,
+        "ni_capacity": system.ni_capacity,
+        "accelerators": [
+            {"name": a.name, "rho": a.rho} for a in system.accelerators
+        ],
+        "streams": [
+            {
+                "name": s.name,
+                "throughput": [s.throughput.numerator, s.throughput.denominator],
+                "reconfigure": s.reconfigure,
+                **({"block_size": s.block_size} if s.block_size is not None else {}),
+            }
+            for s in system.streams
+        ],
+    }
+
+
+def _stream_from(entry: dict[str, Any]) -> StreamSpec:
+    try:
+        name = entry["name"]
+        reconfigure = entry["reconfigure"]
+    except KeyError as err:
+        raise ParameterError(f"stream entry missing key {err}") from err
+    if "throughput" in entry:
+        num, den = entry["throughput"]
+        mu = Fraction(num, den)
+        return StreamSpec(name, mu, reconfigure, entry.get("block_size"))
+    if "samples_per_second" in entry:
+        try:
+            clock = entry["clock_hz"]
+        except KeyError as err:
+            raise ParameterError(
+                f"stream {name!r}: samples_per_second needs clock_hz"
+            ) from err
+        return StreamSpec.from_rate(
+            name, entry["samples_per_second"], clock, reconfigure,
+            entry.get("block_size"),
+        )
+    raise ParameterError(
+        f"stream {name!r}: give 'throughput' [num, den] or "
+        "'samples_per_second' + 'clock_hz'"
+    )
+
+
+def system_from_dict(data: dict[str, Any]) -> GatewaySystem:
+    """Rebuild a gateway system from :func:`system_to_dict` output."""
+    try:
+        accs = data["accelerators"]
+        streams = data["streams"]
+    except KeyError as err:
+        raise ParameterError(f"system dict missing key {err}") from err
+    return GatewaySystem(
+        accelerators=tuple(AcceleratorSpec(a["name"], a["rho"]) for a in accs),
+        streams=tuple(_stream_from(s) for s in streams),
+        entry_copy=data.get("entry_copy", 15),
+        exit_copy=data.get("exit_copy", 1),
+        ni_capacity=data.get("ni_capacity", 2),
+    )
+
+
+def dump_system(system: GatewaySystem, indent: int | None = 2) -> str:
+    """Serialise a system to JSON."""
+    return json.dumps(system_to_dict(system), indent=indent)
+
+
+def load_system(text: str) -> GatewaySystem:
+    """Parse a system from JSON."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ParameterError(f"invalid system JSON: {err}") from err
+    return system_from_dict(data)

@@ -1,0 +1,88 @@
+"""Single-actor SDF abstraction of the gateway + accelerator chain (Fig. 7).
+
+The detailed CSDF model of :mod:`repro.core.csdf_builder` collapses into one
+SDF actor ``vS`` with firing duration ``γ̂_s`` (Eq. 4): it consumes a whole
+block of ``η_s`` tokens from the producer buffer (α0), occupies the shared
+chain for at most ``γ̂_s``, and produces the ``η_s`` output tokens atomically
+into the consumer buffer (α3).  The only pessimism versus the CSDF model is
+the atomic production at the end of the firing — tokens that the exit
+gateway actually delivers sample-by-sample arrive earlier in reality, so the
+abstraction is conservative under the-earlier-the-better refinement
+(Section V-C).
+
+With this topology, "SDF techniques" (state-space throughput, buffer
+minimisation) apply directly; :func:`verify_with_sdf_model` runs Eq. 5
+through the dataflow machinery rather than the closed form, which the tests
+cross-check against :func:`repro.core.timing.throughput_satisfied`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..dataflow import SDFGraph, steady_state_throughput
+from .params import GatewaySystem, ParameterError
+from .timing import gamma
+
+__all__ = ["build_stream_sdf", "verify_with_sdf_model"]
+
+
+def build_stream_sdf(
+    system: GatewaySystem,
+    stream_name: str,
+    producer_period: float | Fraction | None = None,
+    consumer_period: float | Fraction | None = None,
+    alpha0: int | None = None,
+    alpha3: int | None = None,
+) -> SDFGraph:
+    """Build the Fig. 7 single-actor SDF model for one stream.
+
+    Actors: ``vP`` → (α0) → ``vS`` → (α3) → ``vC``; ``vS`` has duration
+    ``γ̂_s`` and quanta ``η_s`` on both edges.  Buffers are modelled with
+    capacity back-edges.  Defaults mirror :func:`build_stream_csdf`.
+    """
+    s = system.stream(stream_name)
+    if s.block_size is None:
+        raise ParameterError(f"stream {stream_name!r} needs a block size for the SDF model")
+    eta = s.block_size
+    period = Fraction(1) / s.throughput
+    if producer_period is None:
+        producer_period = period
+    if consumer_period is None:
+        consumer_period = period
+    if alpha0 is None:
+        alpha0 = 2 * eta
+    if alpha3 is None:
+        alpha3 = 2 * eta
+    if alpha0 < eta or alpha3 < eta:
+        raise ParameterError("α0 and α3 must hold at least one block (η_s tokens)")
+
+    g = SDFGraph(f"sdf[{stream_name}]")
+    g.add_actor("vP", duration=producer_period)
+    g.add_actor("vS", duration=gamma(system, stream_name))
+    g.add_actor("vC", duration=consumer_period)
+
+    g.add_edge("vP", "vS", production=1, consumption=eta, tokens=0, name="p2s")
+    g.add_edge("vS", "vP", production=eta, consumption=1, tokens=alpha0, name="cap:p2s")
+    g.add_edge("vS", "vC", production=eta, consumption=1, tokens=0, name="s2c")
+    g.add_edge("vC", "vS", production=1, consumption=eta, tokens=alpha3, name="cap:s2c")
+    return g
+
+
+def verify_with_sdf_model(
+    system: GatewaySystem,
+    stream_name: str,
+    alpha0: int | None = None,
+    alpha3: int | None = None,
+) -> tuple[bool, Fraction]:
+    """Eq. 5 via the dataflow machinery on the Fig. 7 model.
+
+    The producer is modelled *at the required rate* ``μ_s``; the consumer
+    likewise.  The check passes when the steady-state consumer rate equals
+    ``μ_s`` (no backlog builds up, i.e. ``vC`` is never the bottleneck's
+    victim).  Returns ``(satisfied, consumer_rate)``.
+    """
+    s = system.stream(stream_name)
+    g = build_stream_sdf(system, stream_name, alpha0=alpha0, alpha3=alpha3)
+    rate = steady_state_throughput(g, actor="vC").firing_rate
+    return rate >= s.throughput, rate

@@ -1,0 +1,99 @@
+"""The paper's closed-form temporal bounds (Equations 1–5).
+
+All times are in clock cycles, all rates in samples per cycle.
+
+* Eq. 1 — first-phase firing duration of the entry-gateway actor:
+  ``ρ_G0[0] = ε̂_s + R_s + ε``.
+* Eq. 2 — block processing time bound:
+  ``τ̂_s = R_s + (η_s + F)·max(ε, ρ_A, δ)`` with flush term ``F`` (= 2 for a
+  single shared accelerator, ``A + 1`` for a chain of ``A``).
+* Eq. 3 — worst-case waiting for other streams under round-robin:
+  ``ε̂_s = Σ_{i ∈ S\\s} τ̂_i``.
+* Eq. 4 — worst-case turnaround of a queued block:
+  ``γ_s = Σ_{i ∈ S} τ̂_i``.
+* Eq. 5 — minimum-throughput requirement: ``η_s / γ_s ≥ μ_s``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .params import GatewaySystem, ParameterError, StreamSpec
+
+__all__ = [
+    "tau_hat",
+    "epsilon_hat",
+    "gamma",
+    "rho_g0_first_phase",
+    "throughput_satisfied",
+    "guaranteed_throughput",
+    "block_round_length",
+    "sample_latency_bound",
+]
+
+
+def _eta(stream: StreamSpec) -> int:
+    if stream.block_size is None:
+        raise ParameterError(f"stream {stream.name!r} has no block size assigned")
+    return stream.block_size
+
+
+def tau_hat(system: GatewaySystem, stream_name: str) -> int:
+    """Eq. 2 — upper bound on processing one block of stream ``s``.
+
+    ``τ̂_s = R_s + (η_s + F) · c0`` where ``c0 = max(ε, ρ_A, δ)`` and ``F``
+    is the pipeline-flush term (:attr:`GatewaySystem.flush_stages`).
+    """
+    s = system.stream(stream_name)
+    return s.reconfigure + (_eta(s) + system.flush_stages) * system.c0
+
+
+def epsilon_hat(system: GatewaySystem, stream_name: str) -> int:
+    """Eq. 3 — worst-case time stream ``s`` waits for all other streams."""
+    system.stream(stream_name)  # validate the name
+    return sum(tau_hat(system, i.name) for i in system.streams if i.name != stream_name)
+
+
+def gamma(system: GatewaySystem, stream_name: str) -> int:
+    """Eq. 4 — worst-case turnaround of a queued block of stream ``s``."""
+    return epsilon_hat(system, stream_name) + tau_hat(system, stream_name)
+
+
+def rho_g0_first_phase(system: GatewaySystem, stream_name: str) -> int:
+    """Eq. 1 — worst-case duration of the entry-gateway's first phase."""
+    s = system.stream(stream_name)
+    return epsilon_hat(system, stream_name) + s.reconfigure + system.entry_copy
+
+
+def block_round_length(system: GatewaySystem) -> int:
+    """One full round-robin rotation: ``Σ_{i∈S} τ̂_i`` (equals every γ_s)."""
+    return sum(tau_hat(system, s.name) for s in system.streams)
+
+
+def guaranteed_throughput(system: GatewaySystem, stream_name: str) -> Fraction:
+    """Worst-case guaranteed throughput ``η_s / γ_s`` in samples/cycle."""
+    s = system.stream(stream_name)
+    return Fraction(_eta(s), gamma(system, stream_name))
+
+
+def sample_latency_bound(system: GatewaySystem, stream_name: str) -> Fraction:
+    """Worst-case input-to-output latency of a single sample.
+
+    A sample arriving at an empty input buffer waits at most one block-fill
+    time (``η_s/μ_s`` — the block is completed by subsequent samples at the
+    guaranteed input rate) plus the worst-case turnaround of its block
+    (``γ_s``, Eq. 4): ``L̂_s = η_s/μ_s + γ_s``.
+    """
+    s = system.stream(stream_name)
+    return Fraction(_eta(s)) / s.throughput + gamma(system, stream_name)
+
+
+def throughput_satisfied(system: GatewaySystem, stream_name: str | None = None) -> bool:
+    """Eq. 5 — does the block-size assignment meet the requirement(s)?
+
+    Checks one stream, or all streams when ``stream_name`` is None.
+    """
+    names = [stream_name] if stream_name else [s.name for s in system.streams]
+    return all(
+        guaranteed_throughput(system, n) >= system.stream(n).throughput for n in names
+    )

@@ -1,0 +1,61 @@
+"""Export helpers: Graphviz DOT for (C)SDF graphs, CSV for schedules.
+
+Pure-text emitters (no graphviz dependency): the DOT output renders the
+models the way the paper draws them — actors as circles annotated with
+firing durations, edges annotated with quanta and initial-token dots — and
+the CSV schedule dump makes Gantt data (Fig. 6) consumable by external
+plotting tools.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .graph import CSDFGraph
+from .schedule import Schedule
+
+__all__ = ["to_dot", "schedule_to_csv"]
+
+
+def _quanta_label(quanta: tuple[int, ...]) -> str:
+    """Compact per-phase quanta: '3' for uniform, '[3,0,1]' otherwise."""
+    if len(set(quanta)) == 1:
+        return str(quanta[0])
+    return "[" + ",".join(str(q) for q in quanta) + "]"
+
+
+def to_dot(graph: CSDFGraph, rankdir: str = "LR") -> str:
+    """Graphviz DOT rendering of a (C)SDF graph.
+
+    Capacity back-edges (names starting with ``cap:``) are drawn dashed so
+    bounded channels read like the paper's forward-edge/back-edge pairs.
+    """
+    out = io.StringIO()
+    out.write(f'digraph "{graph.name}" {{\n')
+    out.write(f"  rankdir={rankdir};\n")
+    out.write('  node [shape=circle, fontsize=11];\n')
+    for name, actor in graph.actors.items():
+        if actor.phases == 1:
+            dur = f"{actor.duration[0]:g}"
+        else:
+            dur = "[" + ",".join(f"{d:g}" for d in actor.duration) + "]"
+        out.write(f'  "{name}" [label="{name}\\nρ={dur}"];\n')
+    for e in graph.edges.values():
+        style = ', style=dashed, color=gray40' if e.name.startswith("cap:") else ""
+        tokens = f", label=\"●{e.tokens}\"" if e.tokens else ""
+        out.write(
+            f'  "{e.src}" -> "{e.dst}" '
+            f'[taillabel="{_quanta_label(e.production)}", '
+            f'headlabel="{_quanta_label(e.consumption)}"{tokens}{style}];\n'
+        )
+    out.write("}\n")
+    return out.getvalue()
+
+
+def schedule_to_csv(schedule: Schedule) -> str:
+    """CSV dump of a schedule: actor, phase, start, end — one row per firing."""
+    out = io.StringIO()
+    out.write("actor,phase,start,end\n")
+    for f in sorted(schedule.firings, key=lambda f: (f.start, f.actor)):
+        out.write(f"{f.actor},{f.phase},{f.start:g},{f.end:g}\n")
+    return out.getvalue()

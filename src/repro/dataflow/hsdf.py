@@ -1,0 +1,118 @@
+"""(C)SDF → HSDF expansion.
+
+A Homogeneous SDF (HSDF) graph has unit production/consumption on every
+edge; each node of the expansion represents one *firing* of the original
+actor within one graph iteration.  MCM analysis (:mod:`repro.dataflow.mcm`)
+runs on this expansion.
+
+The paper (Section III) notes that MCM techniques cannot be applied to its
+CSDF model because the block size ``η_s`` is a parameter, so no fixed-topology
+HSDF expansion exists; the expansion below is still essential for analysing
+*concrete* instances (fixed ``η_s``) and for the buffer-sizing experiments.
+
+Construction
+------------
+For an edge ``u → v`` with per-phase production ``p``, consumption ``c`` and
+``d`` initial tokens, consumer firing ``j`` (within iteration 0) consumes the
+tokens with global indices ``[Ccum(j-1), Ccum(j))``.  Token index ``t``
+corresponds to produced-token index ``x = t - d``; for ``x ≥ 0`` it is
+produced by the firing ``i`` with ``Pcum(i) ≤ x < Pcum(i+1)`` and for
+``x < 0`` by a firing of a *previous* iteration (handled with floor
+division).  Each dependency becomes an HSDF edge whose initial-token count is
+the iteration distance between producer and consumer firings.
+"""
+
+from __future__ import annotations
+
+from .graph import CSDFGraph, GraphError, SDFGraph
+from .repetition import firing_repetition_vector
+
+__all__ = ["expand_to_hsdf", "hsdf_node"]
+
+
+def hsdf_node(actor: str, firing: int) -> str:
+    """Name of the HSDF node for the ``firing``-th firing of ``actor``."""
+    return f"{actor}#{firing}"
+
+
+def _cumulative(quanta: tuple[int, ...], firings: int) -> int:
+    """Tokens handled by the first ``firings`` firings (may be negative)."""
+    ph = len(quanta)
+    total = sum(quanta)
+    full, rest = divmod(firings, ph)  # Python floor semantics handle negatives
+    return full * total + sum(quanta[:rest])
+
+
+def _producer_of(quanta: tuple[int, ...], x: int) -> int:
+    """Global firing index producing token ``x`` (0-based; may be negative)."""
+    ph = len(quanta)
+    total = sum(quanta)
+    # Initial guess below the answer, then scan upward.
+    i = (x // total - 1) * ph if total > 0 else 0
+    while _cumulative(quanta, i + 1) <= x:
+        i += 1
+    return i
+
+
+def expand_to_hsdf(graph: CSDFGraph) -> SDFGraph:
+    """Expand a consistent (C)SDF graph into its HSDF equivalent.
+
+    Every node carries the duration of the corresponding phase.  The implicit
+    self-edge of each actor is materialised as a cycle through its firings
+    with one token on the wrap-around edge, encoding that firings of one
+    actor never overlap.
+    """
+    reps = firing_repetition_vector(graph)
+    hsdf = SDFGraph(f"{graph.name}-hsdf")
+
+    for name, actor in graph.actors.items():
+        for k in range(reps[name]):
+            hsdf.add_actor(hsdf_node(name, k), duration=actor.duration[k % actor.phases])
+
+    # Sequentialise firings of each actor (implicit self-edge).
+    for name in graph.actors:
+        r = reps[name]
+        if r == 1:
+            hsdf.add_edge(
+                hsdf_node(name, 0), hsdf_node(name, 0), tokens=1, name=f"self:{name}"
+            )
+        else:
+            for k in range(r):
+                hsdf.add_edge(
+                    hsdf_node(name, k),
+                    hsdf_node(name, (k + 1) % r),
+                    tokens=1 if k == r - 1 else 0,
+                    name=f"seq:{name}:{k}",
+                )
+
+    for e in graph.edges.values():
+        r_dst = reps[e.dst]
+        # (producer firing within iteration, iteration distance) -> dedup
+        for j in range(r_dst):
+            deps: dict[tuple[int, int], None] = {}
+            lo = _cumulative(e.consumption, j)
+            hi = _cumulative(e.consumption, j + 1)
+            for t in range(lo, hi):
+                x = t - e.tokens
+                i = _producer_of(e.production, x)
+                iteration = i // reps[e.src]
+                i_local = i % reps[e.src]
+                if iteration > 0:
+                    raise GraphError(
+                        f"edge {e.name!r}: consumer firing {j} needs a token from a "
+                        "future iteration; graph is inconsistent or malformed"
+                    )
+                deps[(i_local, -iteration)] = None
+            # Keep only the tightest (fewest initial tokens) edge per producer.
+            tightest: dict[int, int] = {}
+            for (i_local, dist) in deps:
+                if i_local not in tightest or dist < tightest[i_local]:
+                    tightest[i_local] = dist
+            for i_local, dist in sorted(tightest.items()):
+                hsdf.add_edge(
+                    hsdf_node(e.src, i_local),
+                    hsdf_node(e.dst, j),
+                    tokens=dist,
+                    name=f"{e.name}:{i_local}->{j}",
+                )
+    return hsdf

@@ -1,0 +1,109 @@
+"""JSON (de)serialisation of (C)SDF graphs.
+
+A stable on-disk representation so models can be stored alongside designs,
+diffed in review, and fed to the CLI.  The schema is deliberately plain::
+
+    {
+      "name": "...",
+      "actors": [{"name": "A", "duration": [2], "phases": 1}, ...],
+      "edges":  [{"name": "ch", "src": "A", "dst": "B",
+                  "production": [1], "consumption": [3], "tokens": 0}, ...]
+    }
+
+Durations are stored as ``[numerator, denominator]`` pairs when exact
+rationality matters (Fraction durations), plain numbers otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from .graph import CSDFGraph, GraphError, SDFGraph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dumps", "loads"]
+
+
+def _encode_duration(d) -> Any:
+    if isinstance(d, Fraction):
+        return {"num": d.numerator, "den": d.denominator}
+    return d
+
+
+def _decode_duration(d) -> Any:
+    if isinstance(d, dict):
+        try:
+            return Fraction(d["num"], d["den"])
+        except KeyError as err:
+            raise GraphError(f"bad duration encoding: missing {err}") from err
+    return d
+
+
+def graph_to_dict(graph: CSDFGraph) -> dict[str, Any]:
+    """Plain-dict representation (JSON-ready)."""
+    return {
+        "name": graph.name,
+        "kind": "sdf" if graph.is_sdf else "csdf",
+        "actors": [
+            {
+                "name": a.name,
+                "duration": [_encode_duration(d) for d in a.duration],
+                "phases": a.phases,
+            }
+            for a in graph.actors.values()
+        ],
+        "edges": [
+            {
+                "name": e.name,
+                "src": e.src,
+                "dst": e.dst,
+                "production": list(e.production),
+                "consumption": list(e.consumption),
+                "tokens": e.tokens,
+            }
+            for e in graph.edges.values()
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> CSDFGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        name = data["name"]
+        actors = data["actors"]
+        edges = data["edges"]
+    except KeyError as err:
+        raise GraphError(f"graph dict missing key {err}") from err
+    kind = data.get("kind", "csdf")
+    graph: CSDFGraph = SDFGraph(name) if kind == "sdf" else CSDFGraph(name)
+    for a in actors:
+        durations = [_decode_duration(d) for d in a["duration"]]
+        if kind == "sdf":
+            graph.add_actor(a["name"], duration=durations[0])
+        else:
+            graph.add_actor(a["name"], duration=durations, phases=a.get("phases"))
+    for e in edges:
+        graph.add_edge(
+            e["src"],
+            e["dst"],
+            production=e["production"],
+            consumption=e["consumption"],
+            tokens=e.get("tokens", 0),
+            name=e.get("name"),
+        )
+    return graph
+
+
+def dumps(graph: CSDFGraph, indent: int | None = 2) -> str:
+    """Serialise a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> CSDFGraph:
+    """Parse a graph from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise GraphError(f"invalid graph JSON: {err}") from err
+    return graph_from_dict(data)

@@ -1,0 +1,20 @@
+"""Hardware cost model reproducing the paper's Table I and Fig. 11."""
+
+from .components import COMPONENTS, ComponentCost, CostError, component
+from .model import (
+    BillOfMaterials,
+    SharingComparison,
+    compare_sharing,
+    paper_table1,
+)
+
+__all__ = [
+    "BillOfMaterials",
+    "COMPONENTS",
+    "ComponentCost",
+    "CostError",
+    "SharingComparison",
+    "compare_sharing",
+    "component",
+    "paper_table1",
+]

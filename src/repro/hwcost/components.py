@@ -1,0 +1,79 @@
+"""FPGA hardware-cost database (paper Table I / Fig. 11, Virtex-6).
+
+The published component costs (Table I) are encoded exactly; the per-part
+breakdown of the gateway pair (Fig. 11: MicroBlaze, entry-gateway logic,
+exit-gateway, FIR+down-sampler, CORDIC) is reconstructed so that the parts
+of the entry+exit pair sum to the published pair total — the figure's bars
+are only readable approximately, so the split is documented as an estimate
+while every Table-I number is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComponentCost", "COMPONENTS", "component", "CostError"]
+
+
+class CostError(KeyError):
+    """Raised for unknown components."""
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Resource usage of one hardware component on the Virtex-6."""
+
+    name: str
+    slices: int
+    luts: int
+    source: str  # "table1" (exact) or "fig11-estimate"
+
+    def __add__(self, other: "ComponentCost") -> "ComponentCost":
+        return ComponentCost(
+            f"{self.name}+{other.name}",
+            self.slices + other.slices,
+            self.luts + other.luts,
+            "derived",
+        )
+
+    def __mul__(self, count: int) -> "ComponentCost":
+        return ComponentCost(
+            f"{count}x{self.name}", self.slices * count, self.luts * count, "derived"
+        )
+
+    __rmul__ = __mul__
+
+
+# Exact Table I entries.
+_TABLE1 = [
+    ComponentCost("entry_exit_pair", 3788, 4445, "table1"),
+    ComponentCost("fir_downsampler", 6512, 10837, "table1"),
+    ComponentCost("cordic", 1714, 1882, "table1"),
+]
+
+# Fig. 11 breakdown of the pair (estimated split; sums to the pair total).
+# "the hardware costs can be mostly attributed to the MicroBlaze processor"
+_FIG11 = [
+    ComponentCost("microblaze", 2300, 2700, "fig11-estimate"),
+    ComponentCost("entry_gateway_logic", 900, 1100, "fig11-estimate"),
+    ComponentCost("exit_gateway", 588, 645, "fig11-estimate"),
+]
+
+COMPONENTS: dict[str, ComponentCost] = {c.name: c for c in (*_TABLE1, *_FIG11)}
+
+assert (
+    sum(c.slices for c in _FIG11) == COMPONENTS["entry_exit_pair"].slices
+), "Fig. 11 split must sum to the Table I pair total (slices)"
+assert (
+    sum(c.luts for c in _FIG11) == COMPONENTS["entry_exit_pair"].luts
+), "Fig. 11 split must sum to the Table I pair total (LUTs)"
+
+
+def component(name: str) -> ComponentCost:
+    """Look up a component by name."""
+    try:
+        return COMPONENTS[name]
+    except KeyError:
+        raise CostError(
+            f"unknown component {name!r}; known: {sorted(COMPONENTS)}"
+        ) from None

@@ -1,0 +1,123 @@
+"""Shared-vs-non-shared hardware cost comparison (paper Table I, Sec. VI-B).
+
+The demonstrator needs each accelerator type four times (two chains × two
+channels).  Without sharing that means four physical instances of each;
+with gateways, one of each plus the entry+exit pair.  This module composes
+arbitrary such comparisons from the component database and reproduces
+Table I exactly for the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import ComponentCost, component
+
+__all__ = ["BillOfMaterials", "SharingComparison", "compare_sharing", "paper_table1"]
+
+
+@dataclass
+class BillOfMaterials:
+    """A named collection of components with counts."""
+
+    name: str
+    items: list[tuple[int, ComponentCost]] = field(default_factory=list)
+
+    def add(self, count: int, comp: ComponentCost | str) -> "BillOfMaterials":
+        if isinstance(comp, str):
+            comp = component(comp)
+        if count < 0:
+            raise ValueError("component count cannot be negative")
+        self.items.append((count, comp))
+        return self
+
+    @property
+    def slices(self) -> int:
+        return sum(n * c.slices for n, c in self.items)
+
+    @property
+    def luts(self) -> int:
+        return sum(n * c.luts for n, c in self.items)
+
+    def rows(self) -> list[tuple[str, int, int, int]]:
+        """(name, count, slices, luts) rows for report rendering."""
+        return [(c.name, n, n * c.slices, n * c.luts) for n, c in self.items]
+
+
+@dataclass(frozen=True)
+class SharingComparison:
+    """Result of a shared-vs-duplicated cost comparison."""
+
+    non_shared: BillOfMaterials
+    shared: BillOfMaterials
+
+    @property
+    def slice_savings(self) -> int:
+        return self.non_shared.slices - self.shared.slices
+
+    @property
+    def lut_savings(self) -> int:
+        return self.non_shared.luts - self.shared.luts
+
+    @property
+    def slice_savings_pct(self) -> float:
+        return 100.0 * self.slice_savings / self.non_shared.slices
+
+    @property
+    def lut_savings_pct(self) -> float:
+        return 100.0 * self.lut_savings / self.non_shared.luts
+
+    @property
+    def accelerator_reduction_pct(self) -> float:
+        """Reduction in accelerator instance count (the paper's 75%)."""
+        n_old = sum(n for n, c in self.non_shared.items)
+        n_new = sum(
+            n for n, c in self.shared.items
+            if c.name in {c2.name for _n2, c2 in self.non_shared.items}
+        )
+        return 100.0 * (n_old - n_new) / n_old
+
+    def table(self) -> str:
+        """Render in the shape of the paper's Table I."""
+        lines = ["Component                     Slices    LUTs"]
+        for name, n, s, l in self.shared.rows():
+            lines.append(f"{n}x {name:<25} {s:>7} {l:>7}")
+        lines.append(
+            f"Non-shared {self.non_shared.name:<17} {self.non_shared.slices:>7} "
+            f"{self.non_shared.luts:>7}"
+        )
+        lines.append(
+            f"Shared {self.shared.name:<21} {self.shared.slices:>7} {self.shared.luts:>7}"
+        )
+        lines.append(
+            f"Savings                       {self.slice_savings:>7} {self.lut_savings:>7}"
+            f"   ({self.slice_savings_pct:.1f}% / {self.lut_savings_pct:.1f}%)"
+        )
+        return "\n".join(lines)
+
+
+def compare_sharing(
+    accelerator_counts: dict[str, int],
+    shared_counts: dict[str, int] | None = None,
+    gateway_pairs: int = 1,
+) -> SharingComparison:
+    """Compare duplicated accelerators against gateway-shared instances.
+
+    ``accelerator_counts`` maps component names to the instance count a
+    non-shared design needs; ``shared_counts`` (default: one of each) to the
+    shared design's counts.  The shared design additionally pays for
+    ``gateway_pairs`` entry+exit pairs.
+    """
+    non_shared = BillOfMaterials("duplicated")
+    for name, n in sorted(accelerator_counts.items()):
+        non_shared.add(n, name)
+    shared = BillOfMaterials("with gateways")
+    shared.add(gateway_pairs, "entry_exit_pair")
+    for name, n in sorted((shared_counts or {k: 1 for k in accelerator_counts}).items()):
+        shared.add(n, name)
+    return SharingComparison(non_shared, shared)
+
+
+def paper_table1() -> SharingComparison:
+    """The exact Table I configuration: 4×(F+D) + 4×C vs gateways + 1 each."""
+    return compare_sharing({"fir_downsampler": 4, "cordic": 4})

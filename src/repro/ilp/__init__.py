@@ -1,0 +1,40 @@
+"""Integer Linear Programming layer: modelling language + two backends.
+
+``solve(model)`` picks the default backend (SciPy/HiGHS MILP); pass
+``backend="bnb"`` for the pure-Python branch-and-bound cross-check.
+"""
+
+from .branch_bound import solve_branch_bound
+from .model import Constraint, LinExpr, Model, ModelError, Var, as_expr, sum_expr
+from .scipy_backend import solve_scipy
+from .solution import Solution, SolverError, Status
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "ModelError",
+    "Solution",
+    "SolverError",
+    "Status",
+    "Var",
+    "as_expr",
+    "solve",
+    "solve_branch_bound",
+    "solve_scipy",
+    "sum_expr",
+]
+
+_BACKENDS = {
+    "scipy": solve_scipy,
+    "bnb": solve_branch_bound,
+}
+
+
+def solve(model: Model, backend: str = "scipy", **kwargs) -> Solution:
+    """Solve a model with the named backend (``"scipy"`` or ``"bnb"``)."""
+    try:
+        fn = _BACKENDS[backend]
+    except KeyError:
+        raise SolverError(f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}")
+    return fn(model, **kwargs)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel (cycle-level) used by :mod:`repro.arch`."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .queues import FifoQueue, Signal
+from .trace import GanttRow, IntervalAccumulator, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "FifoQueue",
+    "GanttRow",
+    "Interrupt",
+    "IntervalAccumulator",
+    "Process",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,369 @@
+"""Discrete-event simulation kernel.
+
+This module provides the substrate on which the MPSoC architecture model
+(:mod:`repro.arch`) is built.  It is a small, dependency-free, cycle-level
+discrete-event simulator in the style of SimPy, specialised for this
+reproduction:
+
+* time is an integer number of *clock cycles* (the paper expresses every
+  latency in cycles: the entry-gateway copies a sample in 15 cycles, the
+  accelerators and exit-gateway in 1 cycle, reconfiguration takes 4100
+  cycles),
+* processes are Python generators that ``yield`` :class:`Event` objects,
+* events carry an optional value and fire all their callbacks at a single
+  simulated instant.
+
+The kernel is deliberately deterministic: events scheduled for the same cycle
+fire in FIFO order of scheduling, which makes traces reproducible and lets the
+tests assert exact cycle counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator
+from typing import Any
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Simulator",
+    "Interrupt",
+    "SimulationError",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations inside the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a simulated instant.
+
+    An event starts *pending*, may be *triggered* (scheduled to fire) and is
+    finally *processed* once its callbacks have run.  Processes wait on events
+    by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (vs. failed)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Schedule this event to fire successfully after ``delay`` cycles."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Schedule this event to fire as a failure after ``delay`` cycles."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event fires (or immediately if done)."""
+        if self.callbacks is None:
+            # Already processed: run at the current instant.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` cycles after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires when all constituent events have fired.
+
+    Value is the list of the constituent values in input order.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: list[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if not ev.processed:
+                self._remaining += 1
+                ev.add_callback(self._on_child)
+        if self._remaining == 0 and not self._triggered:
+            self.succeed([ev.value for ev in self._events])
+
+    def _on_child(self, ev: Event) -> None:
+        if not ev.ok:
+            if not self._triggered:
+                self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0 and not self._triggered:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires as soon as any constituent event fires; value is (index, value)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: list[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        for idx, ev in enumerate(self._events):
+            ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+
+    def _on_child(self, idx: int, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed((idx, ev.value))
+        else:
+            self.fail(ev.value)
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The generator yields :class:`Event` objects; the process resumes when the
+    yielded event fires, receiving the event's value via ``send`` (or its
+    exception via ``throw`` for failed events).  A :class:`Process` is itself
+    an :class:`Event` that fires when the generator returns, carrying the
+    generator's return value.
+    """
+
+    __slots__ = ("name", "_gen", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        super().__init__(sim)
+        if not isinstance(gen, Generator):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        # Kick off at the current instant.
+        init = Event(sim)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        waited = self._waiting_on
+        self._waiting_on = None
+        # Deliver asynchronously so the interrupter keeps running first.
+        ev = Event(self.sim)
+        ev.succeed()
+        ev.add_callback(lambda _e: self._throw(Interrupt(cause), waited))
+
+    def _throw(self, exc: BaseException, waited: Event | None) -> None:
+        if not self.is_alive:
+            return
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            if not self._fail_or_raise(err):
+                raise
+            return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            # Interrupted while waiting; stale wakeup from the old event.
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._gen.send(event.value)
+            else:
+                target = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            if not self._fail_or_raise(err):
+                raise
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, expected Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from a different simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _fail_or_raise(self, err: BaseException) -> bool:
+        """Fail this process-event if someone is watching, else propagate."""
+        if self.callbacks:
+            self.fail(err)
+            return True
+        return False
+
+
+class Simulator:
+    """The event loop: a priority queue of (cycle, sequence, event)."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._seq = itertools.count()
+
+    # -- construction helpers -------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` cycles from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str | None = None) -> Process:
+        """Register and start a generator as a simulated process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + int(delay), next(self._seq), event))
+
+    def peek(self) -> int | None:
+        """Cycle of the next scheduled event, or None when idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self.now = when
+        event._fire()
+
+    def run(self, until: int | Event | None = None) -> Any:
+        """Run the event loop.
+
+        ``until`` may be an absolute cycle count, an :class:`Event` (run until
+        it fires; its value is returned; a failed event re-raises), or None
+        (run until the queue drains).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while self._queue and not stop.processed:
+                self.step()
+            if not stop.processed:
+                raise SimulationError(
+                    f"simulation ran dry at cycle {self.now} before target event fired"
+                )
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+        if until is not None:
+            horizon = int(until)
+            if horizon < self.now:
+                raise SimulationError("cannot run backwards in time")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None

@@ -1,0 +1,123 @@
+"""Event tracing for the architecture simulator.
+
+The tracer records timestamped records of simulator activity (sample
+transfers, block admissions, reconfigurations, stalls).  Records double as
+the measurement substrate for the evaluation: utilization percentages,
+observed throughput and Gantt-chart data are all computed from traces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["TraceRecord", "Tracer", "IntervalAccumulator", "GanttRow"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped observation."""
+
+    time: int
+    source: str
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered by kind."""
+
+    def __init__(self, enabled: bool = True, kinds: Iterable[str] | None = None) -> None:
+        self.enabled = enabled
+        self.kinds = set(kinds) if kinds is not None else None
+        self.records: list[TraceRecord] = []
+
+    def log(self, time: int, source: str, kind: str, **data: Any) -> None:
+        """Record an observation (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.records.append(TraceRecord(time, source, kind, data))
+
+    def by_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def by_source(self, source: str) -> list[TraceRecord]:
+        """All records from one component, in time order."""
+        return [r for r in self.records if r.source == source]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class IntervalAccumulator:
+    """Accumulates busy intervals per activity label, for utilization stats.
+
+    ``begin(label, t)`` / ``end(label, t)`` pairs accumulate total busy time.
+    Overlapping begins for the same label are treated as nested and only the
+    outermost pair contributes.
+    """
+
+    def __init__(self) -> None:
+        self._busy: dict[str, int] = defaultdict(int)
+        self._open: dict[str, list[int]] = defaultdict(list)
+
+    def begin(self, label: str, time: int) -> None:
+        self._open[label].append(time)
+
+    def end(self, label: str, time: int) -> None:
+        stack = self._open[label]
+        if not stack:
+            raise ValueError(f"end({label!r}) without matching begin")
+        start = stack.pop()
+        if not stack:  # outermost interval closed
+            if time < start:
+                raise ValueError(f"interval for {label!r} ends before it starts")
+            self._busy[label] += time - start
+
+    def busy(self, label: str) -> int:
+        """Total closed busy time for ``label``."""
+        return self._busy[label]
+
+    def labels(self) -> list[str]:
+        return sorted(set(self._busy) | set(k for k, v in self._open.items() if v))
+
+    def utilization(self, label: str, horizon: int) -> float:
+        """Fraction of ``horizon`` spent busy on ``label``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self._busy[label] / horizon
+
+
+@dataclass(frozen=True)
+class GanttRow:
+    """One row of a Gantt chart: a resource and its busy segments."""
+
+    resource: str
+    segments: tuple[tuple[int, int, str], ...]  # (start, end, label)
+
+    def render(self, scale: int = 1, width: int = 72, horizon: int | None = None) -> str:
+        """Poor-man's ASCII rendering for terminal output.
+
+        ``horizon`` fixes the time axis so several rows align; it defaults
+        to this row's own last segment end.
+        """
+        if not self.segments:
+            return f"{self.resource:>14} | (idle)"
+        if horizon is None:
+            horizon = max(end for _s, end, _l in self.segments)
+        scale = max(1, scale, -(-horizon // width))  # ceil so everything fits
+        cells = [" "] * max(1, -(-horizon // scale))
+        for start, end, label in self.segments:
+            lo = min(len(cells) - 1, start // scale)
+            hi = min(len(cells), max(lo + 1, -(-end // scale)))
+            ch = label[0] if label else "#"
+            for i in range(lo, hi):
+                cells[i] = ch
+        return f"{self.resource:>14} |{''.join(cells)}|"

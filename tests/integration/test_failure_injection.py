@@ -1,0 +1,162 @@
+"""Failure injection: the protocol violations the gateways exist to prevent.
+
+The paper warns that "reconfiguring or replacing state within the
+accelerators while data is still being processed in those accelerators
+would result in corrupt data".  These tests inject exactly such faults —
+context switches into a busy pipeline, overflowing the exit gateway,
+corrupt contexts, broken admission — and assert the simulated hardware
+*detects* them rather than silently corrupting streams.
+"""
+
+import pytest
+
+from repro.accel import FirDecimatorKernel, KernelError, MixerKernel, design_lowpass
+from repro.arch import (
+    AcceleratorTile,
+    DualRing,
+    ExitGateway,
+    GatewayError,
+    HardwareFifoChannel,
+    MPSoC,
+    StreamBinding,
+)
+from repro.sim import Signal, SimulationError, Simulator
+
+
+def busy_tile():
+    """A tile caught mid-kernel (its ρ is long and a word just arrived)."""
+    sim = Simulator()
+    ring = DualRing(sim, 4)
+    cin = HardwareFifoChannel(sim, ring, 0, 1, capacity=2)
+    cout = HardwareFifoChannel(sim, ring, 1, 2, capacity=2)
+    kernel = MixerKernel(0.1)
+    kernel.rho = 50  # type: ignore[misc]
+    tile = AcceleratorTile(sim, "t", kernel, cin, cout)
+
+    def feed():
+        yield from cin.send(1.0)
+
+    sim.process(feed())
+    sim.run(until=10)  # word delivered, kernel mid-ρ
+    assert tile.busy
+    return sim, tile
+
+
+def test_save_while_processing_detected():
+    _sim, tile = busy_tile()
+    with pytest.raises(SimulationError, match="corrupt"):
+        tile.save_state()
+
+
+def test_load_while_processing_detected():
+    _sim, tile = busy_tile()
+    with pytest.raises(SimulationError, match="corrupt"):
+        tile.load_state({"freq_over_fs": 0.0, "phase": 0.0})
+
+
+def test_shadow_swap_while_processing_detected():
+    _sim, tile = busy_tile()
+    tile.install_shadow("x", {"freq_over_fs": 0.0, "phase": 0.0})
+    with pytest.raises(SimulationError, match="corrupt"):
+        tile.activate_shadow(None, "x")
+
+
+def test_corrupt_context_rejected_by_kernel():
+    """A truncated context (e.g. a partial bus transfer) must not load."""
+    kernel = FirDecimatorKernel(design_lowpass(9, 0.2), 4)
+    good = kernel.get_state()
+    bad = dict(good)
+    del bad["delay"]
+    with pytest.raises(KernelError):
+        kernel.set_state(bad)
+    # and a shape-inconsistent one
+    bad2 = dict(good)
+    bad2["delay"] = bad2["delay"][:3]
+    with pytest.raises(KernelError):
+        kernel.set_state(bad2)
+
+
+def test_exit_gateway_block_queue_overflow_detected():
+    """Admitting more blocks than the exit gateway tracks is a protocol
+    violation (the idle token normally makes this impossible)."""
+    sim = Simulator()
+    ring = DualRing(sim, 4)
+    ch = HardwareFifoChannel(sim, ring, 0, 1, capacity=2)
+    idle = Signal(sim, initial=1)
+    exit_gw = ExitGateway(sim, "x", ch, idle, exit_copy=1)
+    soc_fifo = None  # bindings need a fifo; reuse a dummy CFifo
+    from repro.arch import CFifo
+
+    soc_fifo = CFifo(sim, ring, 2, 3, capacity=4)
+    binding = StreamBinding("s", 1, soc_fifo, soc_fifo, [])
+    for _ in range(4):  # fill the in-flight queue
+        exit_gw.begin_block(binding)
+    with pytest.raises(GatewayError, match="in flight"):
+        exit_gw.begin_block(binding)
+
+
+def test_forged_credit_overflow_detected():
+    """If flow control is bypassed (credits forged), the NI buffer overflow
+    is caught instead of silently dropping data."""
+    sim = Simulator()
+    ring = DualRing(sim, 4)
+    ch = HardwareFifoChannel(sim, ring, 0, 1, capacity=1)
+    ch._credits.release(5)  # fault: forge credits beyond buffer capacity
+
+    def producer():
+        for i in range(4):
+            yield from ch.send(i)
+
+    sim.process(producer())
+    with pytest.raises(SimulationError, match="overflow"):
+        sim.run()
+
+
+def test_gateway_admission_never_overflows_small_output(monkeypatch):
+    """Sabotage the space check: the system must fail loudly, not lose data.
+
+    With the check intact the same scenario runs clean (asserted first)."""
+    from repro.arch import Get, Put, TaskSpec
+
+    def build(sabotage):
+        soc = MPSoC(n_stations=8)
+        prod = soc.add_processor("p")
+        cons = soc.add_processor("c")
+        in_f = prod.fifo_to(2, capacity=32, name="in")
+        out_f = soc.software_fifo(4, cons, capacity=2, name="out")  # tiny
+        chain = soc.shared_chain(
+            "g", [MixerKernel(0.0)],
+            [{"name": "s", "eta": 4, "in_fifo": in_f, "out_fifo": out_f,
+              "states": [MixerKernel(0.0).get_state()],
+              "reconfigure_cycles": 10}],
+            entry_copy=2, exit_copy=1,
+        )
+        if sabotage:
+            monkeypatch.setattr(
+                type(chain.entry), "_ready",
+                lambda self, b: self.idle.count >= 1
+                and b.in_fifo.consumer_available >= b.eta,
+            )
+
+        def producer():
+            for i in range(8):
+                yield Put(in_f, float(i))
+
+        prod.add_task(TaskSpec("p", producer))
+        prod.start()
+        return soc, chain
+
+    # sane system: the block is simply never admitted (2 < η=4 spaces)
+    soc, chain = build(sabotage=False)
+    soc.run(until=20_000)
+    assert chain.binding("s").blocks_done == 0
+
+    # sabotaged: the exit gateway wedges on the full output FIFO — the
+    # pipeline never drains, the idle token never returns, and the second
+    # block can never be admitted: no data is ever silently dropped.
+    soc2, chain2 = build(sabotage=True)
+    soc2.run(until=20_000)
+    b = chain2.binding("s")
+    assert b.blocks_done == 0          # the wedged block never completes
+    assert b.samples_out <= 2          # at most the 2 spaces that existed
+    assert chain2.entry.blocks_admitted == 1

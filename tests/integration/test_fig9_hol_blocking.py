@@ -1,0 +1,113 @@
+"""FIG9: why streams must not share a FIFO without mutual exclusivity.
+
+Section V-G argues that a FIFO shared between two streams breaks the
+dataflow abstraction: "tokens from another stream can influence when
+produced tokens arrive at the consumer because of head-of-line blocking.
+This is not allowed in SDF and causes that the-earlier-the-better
+refinement is not applicable."  The gateways fix it by mutual exclusion:
+a stream waits until the FIFO has been emptied by the previous stream.
+
+These tests exhibit both behaviours on the simulated hardware:
+
+1. with a naively shared FIFO, the *arrival* time of stream 1's token at
+   its consumer depends on how fast stream 0's consumer drains — with
+   identical production times (refinement broken);
+2. with the gateway discipline (admit only into an empty FIFO), arrival
+   is independent of the other stream's consumer (refinement restored).
+"""
+
+from repro.arch import CFifo, DualRing
+from repro.sim import Simulator
+
+
+def shared_fifo_arrival_time(s0_consumer_delay: int) -> int:
+    """Producer emits [s0, s0, s1] into ONE shared FIFO of capacity 2.
+
+    Returns the time stream 1's consumer receives its token.  Stream 0's
+    consumer starts draining after ``s0_consumer_delay`` cycles.
+    """
+    sim = Simulator()
+    ring = DualRing(sim, 4)
+    fifo = CFifo(sim, ring, 0, 2, capacity=2)
+    t1_arrival = []
+
+    def producer():
+        yield from fifo.put(("s0", 1))
+        yield from fifo.put(("s0", 2))
+        yield from fifo.put(("s1", 1))  # head-of-line blocked behind s0
+
+    def consumer():
+        # stream 0's task is busy elsewhere for a while
+        yield sim.timeout(s0_consumer_delay)
+        for _ in range(2):
+            yield from fifo.get()
+        tag, _ = yield from fifo.get()
+        assert tag == "s1"
+        t1_arrival.append(sim.now)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    return t1_arrival[0]
+
+
+def gateway_style_arrival_time(s0_consumer_delay: int) -> int:
+    """Same scenario under the gateway discipline: stream 1 only uses the
+    FIFO after stream 0's block has been fully drained (mutual exclusion),
+    and its consumer then reads immediately."""
+    sim = Simulator()
+    ring = DualRing(sim, 4)
+    fifo = CFifo(sim, ring, 0, 2, capacity=2)
+    t1_arrival = []
+    s0_drained = sim.event()
+
+    def producer_s0():
+        yield from fifo.put(("s0", 1))
+        yield from fifo.put(("s0", 2))
+
+    def consumer_s0():
+        yield sim.timeout(s0_consumer_delay)
+        for _ in range(2):
+            yield from fifo.get()
+        s0_drained.succeed()
+
+    def producer_s1():
+        yield s0_drained  # the entry-gateway's pipeline-idle condition
+        yield from fifo.put(("s1", 1))
+
+    def consumer_s1():
+        yield s0_drained
+        tag, _ = yield from fifo.get()
+        assert tag == "s1"
+        t1_arrival.append(sim.now - s0_drained_time[0])
+
+    s0_drained_time = []
+    s0_drained.add_callback(lambda _e: s0_drained_time.append(sim.now))
+
+    sim.process(producer_s0())
+    sim.process(consumer_s0())
+    sim.process(producer_s1())
+    sim.process(consumer_s1())
+    sim.run()
+    return t1_arrival[0]
+
+
+def test_shared_fifo_exhibits_head_of_line_blocking():
+    """Stream 1's arrival time tracks the OTHER stream's consumer speed."""
+    fast = shared_fifo_arrival_time(s0_consumer_delay=10)
+    slow = shared_fifo_arrival_time(s0_consumer_delay=500)
+    assert slow > fast + 400  # s1's token is held hostage by s0's consumer
+
+
+def test_gateway_discipline_restores_timing_independence():
+    """Relative to the hand-over instant, stream 1's latency is constant."""
+    fast = gateway_style_arrival_time(s0_consumer_delay=10)
+    slow = gateway_style_arrival_time(s0_consumer_delay=500)
+    assert fast == slow  # latency after hand-over independent of stream 0
+
+
+def test_gateway_latency_is_the_isolated_stream_latency():
+    """After mutual exclusion, s1 sees exactly its own FIFO latency."""
+    latency = gateway_style_arrival_time(s0_consumer_delay=50)
+    # put: data flit (2 hops) + wptr flit; get immediately after
+    assert latency <= 10

@@ -1,0 +1,156 @@
+"""Property-based tests of the gateway protocol on the architecture.
+
+Randomised stream mixes (block sizes, kernel configurations, copy costs)
+must always preserve the protocol invariants:
+
+* per-stream lossless FIFO order: every stream's output equals running its
+  samples through a PRIVATE copy of the accelerator (sharing transparent),
+* mutual exclusion: a block is admitted only after the previous block
+  fully drained (admissions never overlap completions),
+* conservation: samples in = η per admitted block; outputs match the
+  chain's decimation ratio exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import CordicKernel, FirDecimatorKernel, design_lowpass, run_kernel
+from repro.arch import Get, MPSoC, Put, TaskSpec
+
+etas = st.integers(min_value=1, max_value=6)
+freqs = st.floats(min_value=-0.4, max_value=0.4, allow_nan=False)
+
+
+@st.composite
+def scenario(draw):
+    n_streams = draw(st.integers(min_value=1, max_value=3))
+    blocks = draw(st.integers(min_value=1, max_value=3))
+    eps = draw(st.integers(min_value=1, max_value=8))
+    etas_ = [draw(etas) for _ in range(n_streams)]
+    freqs_ = [draw(freqs) for _ in range(n_streams)]
+    reconf = draw(st.integers(min_value=0, max_value=200))
+    return n_streams, blocks, eps, etas_, freqs_, reconf
+
+
+def run_scenario(n_streams, blocks, eps, etas_, freqs_, reconf):
+    soc = MPSoC(n_stations=8)
+    prod = soc.add_processor("p")
+    cons = soc.add_processor("c")
+    counts = [etas_[i] * blocks for i in range(n_streams)]
+    ins = [prod.fifo_to(2, capacity=c + 4, name=f"in{i}")
+           for i, c in enumerate(counts)]
+    outs = [soc.software_fifo(4, cons, capacity=c + 4, name=f"out{i}")
+            for i, c in enumerate(counts)]
+    chain = soc.shared_chain(
+        "g", [CordicKernel()],
+        [{"name": f"s{i}", "eta": etas_[i], "in_fifo": ins[i],
+          "out_fifo": outs[i],
+          "states": [CordicKernel("mix", freqs_[i]).get_state()],
+          "reconfigure_cycles": reconf} for i in range(n_streams)],
+        entry_copy=eps, exit_copy=1,
+    )
+    inputs = [
+        [complex(k + 1, (i + 1) * 0.5) for k in range(counts[i])]
+        for i in range(n_streams)
+    ]
+    got = [[] for _ in range(n_streams)]
+
+    def producer():
+        for k in range(max(counts)):
+            for i in range(n_streams):
+                if k < counts[i]:
+                    yield Put(ins[i], inputs[i][k])
+
+    def consumer():
+        for k in range(max(counts)):
+            for i in range(n_streams):
+                if k < counts[i]:
+                    got[i].append((yield Get(outs[i])))
+
+    prod.add_task(TaskSpec("p", producer))
+    cons.add_task(TaskSpec("c", consumer))
+    prod.start()
+    cons.start()
+    soc.run(until=sum(counts) * (eps + 20) + (reconf + 100) * blocks * n_streams * 2
+            + 20_000)
+    return chain, inputs, got
+
+
+@given(scenario())
+@settings(max_examples=15, deadline=None)
+def test_sharing_transparent_for_every_stream(sc):
+    n_streams, blocks, eps, etas_, freqs_, reconf = sc
+    chain, inputs, got = run_scenario(*sc)
+    for i in range(n_streams):
+        assert len(got[i]) == len(inputs[i]), f"s{i} lost samples"
+        private = run_kernel(CordicKernel("mix", freqs_[i]), np.array(inputs[i]))
+        assert np.allclose(got[i], private), f"s{i} corrupted by sharing"
+
+
+@given(scenario())
+@settings(max_examples=15, deadline=None)
+def test_mutual_exclusion_of_blocks(sc):
+    chain, inputs, got = run_scenario(*sc)
+    events = []
+    for b in chain.bindings.values():
+        for a in b.admissions:
+            events.append((a, "admit"))
+        for c in b.completions:
+            events.append((c, "complete"))
+    events.sort()
+    depth = 0
+    for _t, kind in events:
+        depth += 1 if kind == "admit" else -1
+        assert 0 <= depth <= 1, "two blocks in the pipeline at once"
+
+
+@given(scenario())
+@settings(max_examples=15, deadline=None)
+def test_block_accounting_exact(sc):
+    n_streams, blocks, eps, etas_, freqs_, reconf = sc
+    chain, inputs, got = run_scenario(*sc)
+    for i in range(n_streams):
+        b = chain.binding(f"s{i}")
+        assert b.blocks_done == blocks
+        assert b.samples_in == etas_[i] * blocks
+        assert b.samples_out == etas_[i] * blocks  # ratio 1 for the mixer
+
+
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_decimating_chain_conserves_block_ratio(factor_pow, blocks):
+    """With an 2^k:1 decimator in the chain, outputs are exactly η/2^k."""
+    factor = 2 ** factor_pow
+    eta = factor * 2
+    soc = MPSoC(n_stations=8)
+    prod = soc.add_processor("p")
+    cons = soc.add_processor("c")
+    n = eta * blocks
+    in_f = prod.fifo_to(2, capacity=n + 4, name="in")
+    out_f = soc.software_fifo(4, cons, capacity=n + 4, name="out")
+    kernel = FirDecimatorKernel(design_lowpass(5, 0.2), factor)
+    chain = soc.shared_chain(
+        "g", [kernel],
+        [{"name": "s", "eta": eta, "in_fifo": in_f, "out_fifo": out_f,
+          "states": [FirDecimatorKernel(design_lowpass(5, 0.2), factor).get_state()],
+          "reconfigure_cycles": 10}],
+        entry_copy=2, exit_copy=1,
+    )
+    got = []
+
+    def producer():
+        for k in range(n):
+            yield Put(in_f, 1.0)
+
+    def consumer():
+        for _ in range(n // factor):
+            got.append((yield Get(out_f)))
+
+    prod.add_task(TaskSpec("p", producer))
+    cons.add_task(TaskSpec("c", consumer))
+    prod.start()
+    cons.start()
+    soc.run(until=n * 40 + 10_000)
+    assert len(got) == n // factor
+    assert chain.binding("s").samples_out == n // factor

@@ -1,0 +1,223 @@
+"""Unit tests for the FIR decimator, synthetic front-end and audio tasks."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    FirDecimatorKernel,
+    KernelError,
+    PalChannelPlan,
+    correlation,
+    design_lowpass,
+    fir_decimate_batch,
+    make_test_tones,
+    normalize_fm_output,
+    reconstruct_stereo,
+    run_kernel,
+    synthesize_pal_baseband,
+    tone_frequency,
+    tone_snr,
+)
+
+
+# ----------------------------------------------------------------- design
+def test_design_unit_dc_gain():
+    h = design_lowpass(33, 1 / 16)
+    assert np.sum(h) == pytest.approx(1.0)
+
+
+def test_design_is_symmetric_linear_phase():
+    h = design_lowpass(33, 0.1)
+    assert np.allclose(h, h[::-1])
+
+
+def test_design_attenuates_stopband():
+    h = design_lowpass(33, 1 / 16)
+    w = np.fft.rfft(h, 1024)
+    freqs = np.fft.rfftfreq(1024)
+    stop = np.abs(w[freqs > 0.2])
+    assert np.max(stop) < 0.05  # > 26 dB attenuation
+
+
+def test_design_validation():
+    with pytest.raises(KernelError):
+        design_lowpass(0)
+    with pytest.raises(KernelError):
+        design_lowpass(33, 0.7)
+    with pytest.raises(KernelError):
+        design_lowpass(33, 0.1, window="bogus")
+
+
+def test_design_windows():
+    for window in ("hamming", "blackman", "rect"):
+        h = design_lowpass(17, 0.1, window=window)
+        assert np.sum(h) == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------- decimator
+def test_decimator_output_count():
+    k = FirDecimatorKernel(factor=8)
+    out = run_kernel(k, np.ones(64))
+    assert len(out) == 8
+
+
+def test_decimator_matches_batch():
+    h = design_lowpass(33, 1 / 16)
+    xs = np.random.default_rng(0).standard_normal(128) * (1 + 1j)
+    stream = run_kernel(FirDecimatorKernel(h, 8), xs)
+    batch = fir_decimate_batch(xs, h, 8)
+    assert np.allclose(stream, batch)
+
+
+def test_decimator_factor_one_is_plain_fir():
+    h = design_lowpass(9, 0.2)
+    xs = np.random.default_rng(1).standard_normal(32)
+    stream = run_kernel(FirDecimatorKernel(h, 1), xs)
+    batch = fir_decimate_batch(xs, h, 1)
+    assert np.allclose(stream, batch)
+    assert len(stream) == 32
+
+
+def test_decimator_passes_low_tone_rejects_high():
+    fs = 8000.0
+    t = np.arange(2048) / fs
+    low = np.sin(2 * np.pi * 100 * t)
+    high = np.sin(2 * np.pi * 3000 * t)
+    k = FirDecimatorKernel(design_lowpass(33, 1 / 16), 8)
+    out = run_kernel(k, low + high)
+    f = tone_frequency(np.real(out), fs / 8)
+    assert f == pytest.approx(100, abs=fs / 8 / len(out) * 2)
+    assert tone_snr(np.real(out), 100, fs / 8) > 20
+
+
+def test_decimator_validation():
+    with pytest.raises(KernelError):
+        FirDecimatorKernel(factor=0)
+    with pytest.raises(KernelError):
+        FirDecimatorKernel(np.zeros((2, 2)))
+
+
+def test_decimator_state_roundtrip_mid_phase():
+    h = design_lowpass(9, 0.2)
+    xs = np.random.default_rng(2).standard_normal(37)  # not a multiple of 8
+    k1 = FirDecimatorKernel(h, 8)
+    out_a = run_kernel(k1, xs[:21])
+    k2 = FirDecimatorKernel(h, 8)
+    k2.set_state(k1.get_state())
+    out_b1 = run_kernel(k1, xs[21:])
+    out_b2 = run_kernel(k2, xs[21:])
+    assert np.allclose(out_b1, out_b2)
+    ref = run_kernel(FirDecimatorKernel(h, 8), xs)
+    assert np.allclose(np.concatenate([out_a, out_b1]), ref)
+
+
+def test_decimator_state_validation():
+    k = FirDecimatorKernel(factor=8)
+    with pytest.raises(KernelError):
+        k.set_state({"coefficients": np.ones(3)})
+    state = k.get_state()
+    state["delay"] = np.zeros(2)
+    with pytest.raises(KernelError):
+        k.set_state(state)
+
+
+def test_decimator_state_words_includes_complex_delay():
+    k = FirDecimatorKernel(design_lowpass(33, 1 / 16), 8)
+    # 33 real coeffs + 33 complex delay (66) + factor + phase = 101
+    assert k.state_words == 33 + 66 + 2
+
+
+# ---------------------------------------------------------------- frontend
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        PalChannelPlan(sample_rate=1000.0, carrier1=600.0)  # beyond Nyquist
+    with pytest.raises(ValueError):
+        PalChannelPlan(deviation=-1)
+    with pytest.raises(ValueError):
+        PalChannelPlan(sample_rate=10_000.0, carrier1=100.0, carrier2=200.0,
+                       audio_rate=3000.0)
+
+
+def test_plan_oversample():
+    assert PalChannelPlan().oversample == 64
+
+
+def test_synthesize_length_and_dtype():
+    plan = PalChannelPlan()
+    L, R = make_test_tones(100, audio_rate=plan.audio_rate)
+    bb = synthesize_pal_baseband(L, R, plan)
+    assert len(bb) == 100 * plan.oversample
+    assert np.iscomplexobj(bb)
+
+
+def test_synthesize_rejects_mismatched_audio():
+    with pytest.raises(ValueError):
+        synthesize_pal_baseband(np.zeros(10), np.zeros(11))
+
+
+def test_synthesize_carriers_present():
+    plan = PalChannelPlan()
+    L, R = make_test_tones(128, audio_rate=plan.audio_rate)
+    bb = synthesize_pal_baseband(L, R, plan)
+    spec = np.abs(np.fft.fft(bb))
+    freqs = np.fft.fftfreq(len(bb), 1 / plan.sample_rate)
+    for carrier in (plan.carrier1, plan.carrier2):
+        band = np.abs(freqs - carrier) < 2 * plan.deviation
+        outside = np.abs(freqs - carrier) > 8 * plan.deviation
+        assert np.max(spec[band]) > 10 * np.median(spec[outside])
+
+
+def test_synthesize_with_noise_and_vision():
+    plan = PalChannelPlan(vision_level=0.2)
+    L, R = make_test_tones(64, audio_rate=plan.audio_rate)
+    bb = synthesize_pal_baseband(L, R, plan, noise_level=0.05, seed=7)
+    assert np.all(np.isfinite(bb))
+
+
+def test_make_test_tones_frequencies():
+    L, R = make_test_tones(4096, audio_rate=8000.0, f_left=440, f_right=1000)
+    assert tone_frequency(L, 8000.0) == pytest.approx(440, abs=4)
+    assert tone_frequency(R, 8000.0) == pytest.approx(1000, abs=4)
+
+
+# ------------------------------------------------------------------- audio
+def test_reconstruct_stereo_matrix():
+    lpr = np.array([1.0, 2.0, 3.0])  # (L+R)/2
+    r = np.array([0.0, 1.0, 2.0])
+    left, right = reconstruct_stereo(lpr, r)
+    assert np.allclose(left, [2.0, 3.0, 4.0])
+    assert np.allclose(right, r)
+
+
+def test_reconstruct_trims_to_common_length():
+    left, right = reconstruct_stereo(np.ones(5), np.zeros(3))
+    assert len(left) == len(right) == 3
+
+
+def test_normalize_fm_output_scaling():
+    fs, dev = 8000.0, 1000.0
+    audio = 0.5 * np.sin(2 * np.pi * 200 * np.arange(256) / fs)
+    demod = 2 * np.pi * dev / fs * audio + 0.3  # with a DC offset
+    rec = normalize_fm_output(demod, dev, fs)
+    assert np.allclose(rec, audio - np.mean(audio), atol=1e-9)
+
+
+def test_tone_frequency_short_signal_rejected():
+    with pytest.raises(ValueError):
+        tone_frequency(np.ones(4), 100.0)
+
+
+def test_tone_snr_clean_vs_noisy():
+    fs = 8000.0
+    t = np.arange(2048) / fs
+    clean = np.sin(2 * np.pi * 500 * t)
+    noisy = clean + 0.3 * np.random.default_rng(0).standard_normal(len(t))
+    assert tone_snr(clean, 500, fs) > tone_snr(noisy, 500, fs) > 5
+
+
+def test_correlation_identical_and_shifted():
+    x = np.sin(np.linspace(0, 30, 300))
+    assert correlation(x, x) == pytest.approx(1.0, abs=1e-9)
+    assert correlation(x[:-3], x[3:]) > 0.95  # lag-tolerant
+    with pytest.raises(ValueError):
+        correlation(np.ones(2), np.ones(2))

@@ -1,0 +1,172 @@
+"""Unit tests for the StreamProgram support library."""
+
+import numpy as np
+import pytest
+
+from repro.accel import CordicKernel, run_kernel
+from repro.arch import Get, ProgramError, Put, StreamProgram
+
+
+def feeder_factory(samples):
+    def factory(io):
+        def gen():
+            for s in samples:
+                yield Put(io["out"], s)
+        return gen
+    return factory
+
+
+def sink_factory(collected, count):
+    def factory(io):
+        def gen():
+            for _ in range(count):
+                collected.append((yield Get(io["in"])))
+        return gen
+    return factory
+
+
+def simple_program(n=8, eta=4, freq=0.1):
+    samples = [complex(k + 1, 0) for k in range(n)]
+    collected: list = []
+    prog = StreamProgram("simple")
+    prog.add_task("fe", feeder_factory(samples), ports=["out"])
+    prog.add_task("sink", sink_factory(collected, n), ports=["in"])
+    prog.add_chain("gw", [CordicKernel()], entry_copy=3)
+    prog.add_stream(
+        "s0", chain="gw", eta=eta,
+        states=[CordicKernel("mix", freq).get_state()],
+        src=("fe", "out"), dst=("sink", "in"), reconfigure=50,
+    )
+    return prog, samples, collected
+
+
+def test_program_builds_and_runs():
+    prog, samples, collected = simple_program()
+    built = prog.build()
+    built.run(until=50_000)
+    assert len(collected) == len(samples)
+    ref = run_kernel(CordicKernel("mix", 0.1), np.array(samples))
+    assert np.allclose(collected, ref)
+
+
+def test_program_handles_exposed():
+    prog, _s, _c = simple_program()
+    built = prog.build()
+    assert set(built.tiles) == {"fe", "sink"}
+    assert set(built.chains) == {"gw"}
+    assert "s0.in" in built.fifos and "s0.out" in built.fifos
+
+
+def test_duplicate_declarations_rejected():
+    prog, _s, _c = simple_program()
+    with pytest.raises(ProgramError):
+        prog.add_task("fe", feeder_factory([]), ports=["x"])
+    with pytest.raises(ProgramError):
+        prog.add_chain("gw", [CordicKernel()])
+    with pytest.raises(ProgramError):
+        prog.add_stream("s0", chain="gw", eta=1, states=[{}],
+                        src=("fe", "out"), dst=("sink", "in"))
+
+
+def test_unknown_chain_rejected():
+    prog = StreamProgram()
+    prog.add_task("a", feeder_factory([]), ports=["out"])
+    prog.add_task("b", sink_factory([], 0), ports=["in"])
+    prog.add_stream("s", chain="nope", eta=1, states=[{}],
+                    src=("a", "out"), dst=("b", "in"))
+    with pytest.raises(ProgramError, match="unknown chain"):
+        prog.build()
+
+
+def test_unknown_port_rejected():
+    prog = StreamProgram()
+    prog.add_task("a", feeder_factory([]), ports=["out"])
+    prog.add_task("b", sink_factory([], 0), ports=["in"])
+    prog.add_chain("gw", [CordicKernel()])
+    prog.add_stream("s", chain="gw", eta=1,
+                    states=[CordicKernel().get_state()],
+                    src=("a", "bogus"), dst=("b", "in"))
+    with pytest.raises(ProgramError, match="no port"):
+        prog.build()
+
+
+def test_port_double_use_rejected():
+    prog = StreamProgram()
+    prog.add_task("a", feeder_factory([]), ports=["out"])
+    prog.add_task("b", sink_factory([], 0), ports=["in"])
+    prog.add_channel("c1", src=("a", "out"), dst=("b", "in"), capacity=4)
+    prog.add_channel("c2", src=("a", "out"), dst=("b", "in"), capacity=4)
+    with pytest.raises(ProgramError, match="already used"):
+        prog.build()
+
+
+def test_unconnected_port_rejected():
+    prog = StreamProgram()
+    prog.add_task("a", feeder_factory([]), ports=["out", "lonely"])
+    prog.add_task("b", sink_factory([], 0), ports=["in"])
+    prog.add_channel("c", src=("a", "out"), dst=("b", "in"), capacity=4)
+    with pytest.raises(ProgramError, match="unconnected"):
+        prog.build()
+
+
+def test_wrong_state_count_rejected():
+    prog = StreamProgram()
+    prog.add_task("a", feeder_factory([]), ports=["out"])
+    prog.add_task("b", sink_factory([], 0), ports=["in"])
+    prog.add_chain("gw", [CordicKernel(), CordicKernel()])
+    prog.add_stream("s", chain="gw", eta=1, states=[{}],
+                    src=("a", "out"), dst=("b", "in"))
+    with pytest.raises(ProgramError, match="contexts"):
+        prog.build()
+
+
+def test_chain_without_streams_rejected():
+    prog = StreamProgram()
+    prog.add_task("a", feeder_factory([1.0]), ports=["out"])
+    prog.add_task("b", sink_factory([], 1), ports=["in"])
+    prog.add_channel("c", src=("a", "out"), dst=("b", "in"), capacity=4)
+    prog.add_chain("gw", [CordicKernel()])
+    with pytest.raises(ProgramError, match="no streams"):
+        prog.build()
+
+
+def test_plain_channel_program():
+    collected: list = []
+    prog = StreamProgram()
+    prog.add_task("a", feeder_factory([1.0, 2.0, 3.0]), ports=["out"])
+    prog.add_task("b", sink_factory(collected, 3), ports=["in"])
+    prog.add_channel("c", src=("a", "out"), dst=("b", "in"), capacity=4)
+    built = prog.build()
+    built.run(until=10_000)
+    assert collected == [1.0, 2.0, 3.0]
+
+
+def test_two_chains_two_gateway_pairs():
+    """Fig. 1 shows TWO gateway pairs (G0/G1 and G2/G3) on one ring; the
+    support library must build and run them concurrently."""
+    n = 8
+    samples = [complex(k + 1, 0) for k in range(n)]
+    got_a: list = []
+    got_b: list = []
+    prog = StreamProgram("fig1")
+    prog.add_task("fe", feeder_factory(samples), ports=["out"])
+    prog.add_task("fe2", feeder_factory(samples), ports=["out"])
+    prog.add_task("sa", sink_factory(got_a, n), ports=["in"])
+    prog.add_task("sb", sink_factory(got_b, n), ports=["in"])
+    prog.add_chain("g01", [CordicKernel()], entry_copy=3)
+    prog.add_chain("g23", [CordicKernel()], entry_copy=3)
+    prog.add_stream("sA", chain="g01", eta=4,
+                    states=[CordicKernel("mix", 0.1).get_state()],
+                    src=("fe", "out"), dst=("sa", "in"), reconfigure=20)
+    prog.add_stream("sB", chain="g23", eta=2,
+                    states=[CordicKernel("mix", 0.2).get_state()],
+                    src=("fe2", "out"), dst=("sb", "in"), reconfigure=20)
+    built = prog.build()
+    built.run(until=100_000)
+    assert len(got_a) == n and len(got_b) == n
+    ref_a = run_kernel(CordicKernel("mix", 0.1), np.array(samples))
+    ref_b = run_kernel(CordicKernel("mix", 0.2), np.array(samples))
+    assert np.allclose(got_a, ref_a)
+    assert np.allclose(got_b, ref_b)
+    # the two pairs really are independent instances
+    assert built.chains["g01"].entry is not built.chains["g23"].entry

@@ -1,0 +1,304 @@
+"""Unit tests for the budget scheduler, config bus and accelerator tile."""
+
+import pytest
+
+from repro.accel import FirDecimatorKernel, MixerKernel
+from repro.arch import (
+    AcceleratorTile,
+    BudgetScheduler,
+    Compute,
+    ConfigBus,
+    DualRing,
+    Get,
+    HardwareFifoChannel,
+    Put,
+    Sleep,
+    TaskSpec,
+)
+from repro.arch.cfifo import CFifo
+from repro.sim import SimulationError, Simulator
+
+
+# -------------------------------------------------------------- config bus
+def test_bus_word_timing():
+    sim = Simulator()
+    bus = ConfigBus(sim, word_time=2)
+    done = []
+
+    def xfer():
+        yield from bus.transfer(10)
+        done.append(sim.now)
+
+    sim.process(xfer())
+    sim.run()
+    assert done == [20]
+    assert bus.words_transferred == 10
+
+
+def test_bus_serialises_transactions():
+    sim = Simulator()
+    bus = ConfigBus(sim, word_time=1)
+    done = []
+
+    def xfer(tag, words):
+        yield from bus.transfer(words, label=tag)
+        done.append((tag, sim.now))
+
+    sim.process(xfer("a", 5))
+    sim.process(xfer("b", 5))
+    sim.run()
+    assert done == [("a", 5), ("b", 10)]
+
+
+def test_bus_transfer_cycles():
+    sim = Simulator()
+    bus = ConfigBus(sim)
+    done = []
+
+    def xfer():
+        yield from bus.transfer_cycles(4100)
+        done.append(sim.now)
+
+    sim.process(xfer())
+    sim.run()
+    assert done == [4100]
+    assert bus.transactions == 1
+
+
+def test_bus_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        ConfigBus(sim, word_time=0)
+    bus = ConfigBus(sim)
+    with pytest.raises(SimulationError):
+        list(bus.transfer(-1))
+
+
+# --------------------------------------------------------------- scheduler
+def test_scheduler_runs_single_task():
+    sim = Simulator()
+    sched = BudgetScheduler(sim)
+    log = []
+
+    def task():
+        yield Compute(10)
+        log.append(sim.now)
+
+    sched.add_task(TaskSpec("t", task))
+    sched.start()
+    sim.run()
+    assert log == [10]
+    assert sched.all_finished
+
+
+def test_scheduler_priority_order():
+    sim = Simulator()
+    sched = BudgetScheduler(sim, quantum=5)
+    log = []
+
+    def work(tag):
+        def gen():
+            yield Compute(10)
+            log.append((tag, sim.now))
+        return gen
+
+    sched.add_task(TaskSpec("low", work("low"), priority=5))
+    sched.add_task(TaskSpec("high", work("high"), priority=1))
+    sched.start()
+    sim.run()
+    assert log[0][0] == "high"
+
+
+def test_scheduler_budget_throttles_task():
+    """A task with budget 10 per period 100 runs at most 10 cycles/period."""
+    sim = Simulator()
+    sched = BudgetScheduler(sim, quantum=10)
+    log = []
+
+    def hungry():
+        yield Compute(30)
+        log.append(sim.now)
+
+    sched.add_task(TaskSpec("hungry", hungry, budget=10, period=100))
+    sched.start()
+    sim.run()
+    # 10 cycles now, 10 more after t=100, last 10 after t=200
+    assert log == [210]
+
+
+def test_scheduler_budget_interference_bounded():
+    """A low-priority task still gets the processor when the high-priority
+    task's budget is exhausted (the scheduler's whole point, per [18])."""
+    sim = Simulator()
+    sched = BudgetScheduler(sim, quantum=10)
+    log = []
+
+    def spinner():
+        while True:
+            yield Compute(10)
+
+    def background():
+        yield Compute(20)
+        log.append(sim.now)
+
+    sched.add_task(TaskSpec("hog", spinner, priority=0, budget=50, period=100))
+    sched.add_task(TaskSpec("bg", background, priority=9))
+    sched.start()
+    sim.run(until=400)
+    # hog gets 50 of each 100 cycles; bg's 20 cycles fit in the first gap
+    assert log and log[0] <= 100
+
+
+def test_scheduler_get_put_between_tasks():
+    sim = Simulator()
+    ring = DualRing(sim, 4)
+    fifo = CFifo(sim, ring, 0, 1, capacity=4)
+    sched = BudgetScheduler(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield Put(fifo, i)
+            yield Compute(2)
+
+    def consumer():
+        for _ in range(3):
+            v = yield Get(fifo)
+            got.append(v)
+
+    sched.add_task(TaskSpec("p", producer))
+    sched.add_task(TaskSpec("c", consumer))
+    sched.start()
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_scheduler_sleep_releases_processor():
+    sim = Simulator()
+    sched = BudgetScheduler(sim)
+    log = []
+
+    def sleeper():
+        yield Sleep(100)
+        log.append(("sleeper", sim.now))
+
+    def worker():
+        yield Compute(10)
+        log.append(("worker", sim.now))
+
+    sched.add_task(TaskSpec("s", sleeper, priority=0))
+    sched.add_task(TaskSpec("w", worker, priority=1))
+    sched.start()
+    sim.run()
+    assert ("worker", 10) in log
+    assert ("sleeper", 100) in log
+
+
+def test_scheduler_task_stats():
+    sim = Simulator()
+    sched = BudgetScheduler(sim)
+
+    def task():
+        yield Compute(7)
+
+    sched.add_task(TaskSpec("t", task))
+    sched.start()
+    sim.run()
+    stats = sched.task_stats()
+    assert stats["t"]["executed_cycles"] == 7
+    assert stats["t"]["finished"] == 1
+
+
+def test_scheduler_validation():
+    sim = Simulator()
+    sched = BudgetScheduler(sim)
+    with pytest.raises(SimulationError):
+        BudgetScheduler(sim, quantum=0)
+    with pytest.raises(SimulationError):
+        sched.start()  # no tasks
+
+    def t():
+        yield Compute(1)
+
+    sched.add_task(TaskSpec("t", t))
+    with pytest.raises(SimulationError):
+        sched.add_task(TaskSpec("t", t))  # duplicate
+    with pytest.raises(SimulationError):
+        TaskSpec("bad", t, budget=0)
+
+
+def test_scheduler_unknown_command_rejected():
+    sim = Simulator()
+    sched = BudgetScheduler(sim)
+
+    def bad():
+        yield "not a command"
+
+    sched.add_task(TaskSpec("bad", bad))
+    sched.start()
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+# --------------------------------------------------------- accelerator tile
+def make_tile(kernel, sim=None):
+    sim = sim or Simulator()
+    ring = DualRing(sim, 4)
+    cin = HardwareFifoChannel(sim, ring, 0, 1, capacity=2, name="in")
+    cout = HardwareFifoChannel(sim, ring, 1, 2, capacity=2, name="out")
+    tile = AcceleratorTile(sim, "acc", kernel, cin, cout)
+    return sim, cin, cout, tile
+
+
+def test_tile_processes_stream():
+    sim, cin, cout, tile = make_tile(MixerKernel(0.0))
+    got = []
+
+    def feed():
+        for i in range(4):
+            yield from cin.send(complex(i))
+
+    def drain():
+        for _ in range(4):
+            w = yield from cout.recv()
+            got.append(w)
+
+    sim.process(feed())
+    sim.process(drain())
+    sim.run(until=200)
+    assert [round(g.real, 6) for g in got] == [0, 1, 2, 3]
+    assert tile.samples_in == 4
+
+
+def test_tile_decimator_reduces_count():
+    sim, cin, cout, tile = make_tile(FirDecimatorKernel(factor=4))
+    got = []
+
+    def feed():
+        for i in range(8):
+            yield from cin.send(1.0)
+
+    def drain():
+        for _ in range(2):
+            w = yield from cout.recv()
+            got.append(w)
+
+    sim.process(feed())
+    sim.process(drain())
+    sim.run(until=500)
+    assert len(got) == 2
+    assert tile.samples_out == 2
+
+
+def test_tile_state_save_restore_while_idle():
+    sim, cin, cout, tile = make_tile(MixerKernel(0.25))
+    sim.run(until=5)
+    state = tile.save_state()
+    assert state["freq_over_fs"] == 0.25
+    tile.load_state({"freq_over_fs": 0.1, "phase": 0.5})
+    assert tile.kernel.freq_over_fs == 0.1
+
+
+def test_tile_state_words():
+    _sim, _ci, _co, tile = make_tile(MixerKernel(0.1))
+    assert tile.state_words == 2

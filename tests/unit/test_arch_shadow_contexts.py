@@ -1,0 +1,127 @@
+"""Unit tests for shadow contexts (the paper's future-work extension).
+
+Section VI-A: "we are working on techniques to improve the speed at which
+state can be saved and restored".  Shadow contexts make the context switch
+a constant-time bank swap; functionally the system must behave exactly as
+with software save/restore.
+"""
+
+import pytest
+
+from repro.accel import MixerKernel
+from repro.arch import Get, GatewayError, MPSoC, Put, TaskSpec
+from repro.sim import SimulationError
+
+
+def build(context_mode, reconfigure=500, etas=(2, 2)):
+    soc = MPSoC(n_stations=8)
+    prod = soc.add_processor("p")
+    cons = soc.add_processor("c")
+    in_fifos = [prod.fifo_to(2, capacity=64, name=f"in{i}") for i in range(2)]
+    out_fifos = [soc.software_fifo(4, cons, capacity=64, name=f"out{i}")
+                 for i in range(2)]
+    states = [
+        [{"freq_over_fs": 0.25, "phase": 0.0}],
+        [{"freq_over_fs": 0.0, "phase": 0.0}],
+    ]
+    chain = soc.shared_chain(
+        "g", [MixerKernel(0.0)],
+        [{"name": f"s{i}", "eta": etas[i], "in_fifo": in_fifos[i],
+          "out_fifo": out_fifos[i], "states": states[i],
+          "reconfigure_cycles": reconfigure} for i in range(2)],
+        entry_copy=3, exit_copy=1,
+        context_mode=context_mode, shadow_switch_cycles=4,
+    )
+    return soc, prod, cons, in_fifos, out_fifos, chain
+
+
+def drive(soc, prod, cons, in_fifos, out_fifos, n=8):
+    got = [[], []]
+
+    def producer():
+        for i in range(n):
+            yield Put(in_fifos[0], 1.0)
+            yield Put(in_fifos[1], 1.0)
+
+    def consumer():
+        for _ in range(n):
+            got[0].append((yield Get(out_fifos[0])))
+            got[1].append((yield Get(out_fifos[1])))
+
+    prod.add_task(TaskSpec("p", producer))
+    cons.add_task(TaskSpec("c", consumer))
+    prod.start()
+    cons.start()
+    soc.run(until=100_000)
+    return got
+
+
+def test_shadow_mode_functionally_identical():
+    got_sw = drive(*build("software")[:5])
+    got_sh = drive(*build("shadow")[:5])
+    assert got_sw[0] == got_sh[0]
+    assert got_sw[1] == got_sh[1]
+
+
+def test_shadow_mode_slashes_reconfiguration_time():
+    *rest_sw, chain_sw = build("software", reconfigure=500)
+    drive(*rest_sw)
+    *rest_sh, chain_sh = build("shadow", reconfigure=500)
+    drive(*rest_sh)
+    switches = chain_sw.entry.blocks_admitted  # alternating streams
+    assert chain_sw.entry.reconfig_cycles >= 500 * (switches - 1)
+    assert chain_sh.entry.reconfig_cycles <= 4 * switches + switches
+
+
+def test_shadow_contexts_isolated_between_streams():
+    *rest, chain = build("shadow")
+    got = drive(*rest)
+    # stream 1: identity mixer -> all ones
+    assert all(abs(g - 1.0) < 1e-3 for g in got[1])
+    # stream 0: rotation by 0.25 turns/sample, phase continuous across blocks
+    expected = [1, -1j, -1, 1j] * 2
+    assert all(abs(g - e) < 1e-3 for g, e in zip(got[0], expected))
+
+
+def test_shadow_switch_requires_installed_context():
+    soc = MPSoC(n_stations=6)
+    from repro.arch import AcceleratorTile, HardwareFifoChannel
+    from repro.arch.ring import DualRing
+
+    ring = soc.ring
+    cin = HardwareFifoChannel(soc.sim, ring, 0, 1, capacity=2)
+    cout = HardwareFifoChannel(soc.sim, ring, 1, 2, capacity=2)
+    tile = AcceleratorTile(soc.sim, "t", MixerKernel(0.0), cin, cout)
+    with pytest.raises(SimulationError):
+        tile.activate_shadow(None, "ghost")
+
+
+def test_shadow_bank_parks_outgoing_state():
+    soc = MPSoC(n_stations=6)
+    from repro.arch import AcceleratorTile, HardwareFifoChannel
+
+    cin = HardwareFifoChannel(soc.sim, soc.ring, 0, 1, capacity=2)
+    cout = HardwareFifoChannel(soc.sim, soc.ring, 1, 2, capacity=2)
+    tile = AcceleratorTile(soc.sim, "t", MixerKernel(0.1), cin, cout)
+    tile.install_shadow("a", {"freq_over_fs": 0.2, "phase": 0.5})
+    tile.kernel.phase = 0.75
+    tile.activate_shadow("b", "a")  # parks the 0.75 phase under "b"
+    assert tile.kernel.freq_over_fs == 0.2
+    assert tile.shadow_state("b")["phase"] == 0.75
+
+
+def test_invalid_context_mode_rejected():
+    with pytest.raises(GatewayError):
+        build("quantum")
+
+
+def test_invalid_shadow_cycles_rejected():
+    soc = MPSoC(n_stations=8)
+    f = soc.software_fifo(0, 1, 8, "f")
+    with pytest.raises(GatewayError):
+        soc.shared_chain(
+            "g", [MixerKernel(0.0)],
+            [{"name": "s", "eta": 2, "in_fifo": f, "out_fifo": f,
+              "states": [MixerKernel(0.0).get_state()]}],
+            context_mode="shadow", shadow_switch_cycles=0,
+        )

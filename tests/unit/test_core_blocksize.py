@@ -1,0 +1,161 @@
+"""Unit tests for Algorithm 1 (block-size ILP) and the buffer-optimal search."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    ParameterError,
+    StreamSpec,
+    compute_block_sizes,
+    gamma,
+    guaranteed_throughput,
+    optimal_block_sizes_for_buffers,
+    sharing_load,
+    stream_buffer_cost,
+    throughput_satisfied,
+)
+
+
+def system_of(mus, R=20, eps=5, rho=(1,), delta=1):
+    return GatewaySystem(
+        accelerators=tuple(AcceleratorSpec(f"a{i}", r) for i, r in enumerate(rho)),
+        streams=tuple(StreamSpec(f"s{i}", mu, R) for i, mu in enumerate(mus)),
+        entry_copy=eps,
+        exit_copy=delta,
+    )
+
+
+def test_sharing_load():
+    sys_ = system_of([Fraction(1, 100), Fraction(1, 50)], eps=5)
+    assert sharing_load(sys_) == 5 * (Fraction(1, 100) + Fraction(1, 50))
+
+
+def test_single_stream_block_size():
+    mu = Fraction(1, 100)
+    sys_ = system_of([mu], R=20, eps=5)
+    res = compute_block_sizes(sys_)
+    eta = res.block_sizes["s0"]
+    assigned = sys_.with_block_sizes(res.block_sizes)
+    assert throughput_satisfied(assigned)
+    # minimality: eta - 1 violates Eq. 5
+    if eta > 1:
+        smaller = sys_.with_block_sizes({"s0": eta - 1})
+        assert not throughput_satisfied(smaller)
+
+
+def test_two_streams_satisfy_eq5():
+    sys_ = system_of([Fraction(1, 60), Fraction(1, 90)], R=30, eps=4)
+    res = compute_block_sizes(sys_)
+    assigned = sys_.with_block_sizes(res.block_sizes)
+    for s in assigned.streams:
+        assert guaranteed_throughput(assigned, s.name) >= s.throughput
+
+
+def test_total_minimality_two_streams():
+    """No vector with a smaller Ση satisfies Eq. 5 (exhaustive cross-check)."""
+    sys_ = system_of([Fraction(1, 30), Fraction(1, 45)], R=10, eps=3)
+    res = compute_block_sizes(sys_)
+    total = res.total
+    for e0 in range(1, total):
+        for e1 in range(1, total - e0):
+            if e0 + e1 >= total:
+                continue
+            cand = sys_.with_block_sizes({"s0": e0, "s1": e1})
+            assert not throughput_satisfied(cand), (e0, e1)
+
+
+def test_backends_agree():
+    sys_ = system_of([Fraction(1, 60), Fraction(1, 90), Fraction(1, 200)], R=30, eps=4)
+    a = compute_block_sizes(sys_, backend="scipy")
+    b = compute_block_sizes(sys_, backend="bnb")
+    assert a.objective == b.objective
+
+
+def test_infeasible_overload_diagnosed():
+    # c0·Σμ = 5 * (1/5 + 1/5) = 2 ≥ 1
+    sys_ = system_of([Fraction(1, 5), Fraction(1, 5)], eps=5)
+    with pytest.raises(ParameterError, match="load"):
+        compute_block_sizes(sys_)
+
+
+def test_higher_rate_gets_larger_block():
+    sys_ = system_of([Fraction(1, 50), Fraction(1, 400)], R=20, eps=5)
+    res = compute_block_sizes(sys_)
+    assert res.block_sizes["s0"] > res.block_sizes["s1"]
+
+
+def test_paper_c1_mode_is_weaker():
+    """The literal c1=R_s constraint admits smaller (unsafe) blocks."""
+    sys_ = system_of([Fraction(1, 60), Fraction(1, 90)], R=30, eps=4)
+    strict = compute_block_sizes(sys_, c1_mode="sum")
+    loose = compute_block_sizes(sys_, c1_mode="paper")
+    assert loose.total <= strict.total
+
+
+def test_c1_mode_validation():
+    sys_ = system_of([Fraction(1, 60)])
+    with pytest.raises(ParameterError):
+        compute_block_sizes(sys_, c1_mode="bogus")
+
+
+def test_block_sizes_blow_up_near_saturation():
+    """η grows like 1/(1-load) as the load approaches 1."""
+    totals = []
+    for denom in (40, 30, 24, 21):  # load = 5*2/denom: 0.25, 0.33, 0.42, 0.48 each
+        sys_ = system_of([Fraction(1, denom)] * 2, R=100, eps=5)
+        totals.append(compute_block_sizes(sys_).total)
+    assert totals == sorted(totals)
+    assert totals[-1] > totals[0]
+
+
+def test_reconfiguration_cost_inflates_blocks():
+    small_r = compute_block_sizes(system_of([Fraction(1, 60)], R=10)).total
+    big_r = compute_block_sizes(system_of([Fraction(1, 60)], R=1000)).total
+    assert big_r > small_r
+
+
+# ------------------------------------------------------- buffer-optimal B&B
+def test_stream_buffer_cost_requires_block_size():
+    sys_ = system_of([Fraction(1, 100)])
+    with pytest.raises(ParameterError):
+        stream_buffer_cost(sys_, "s0")
+
+
+def test_stream_buffer_cost_sustains_rate():
+    sys_ = system_of([Fraction(1, 100)], R=20, eps=5).with_block_sizes({"s0": 4})
+    caps = stream_buffer_cost(sys_, "s0")
+    assert set(caps) == {"p2s", "s2c"}
+    assert all(c >= 4 for c in caps.values())  # must hold a block
+
+
+def test_optimal_block_sizes_for_buffers_feasible_and_not_worse():
+    sys_ = system_of([Fraction(1, 80)], R=20, eps=5)
+    ilp = compute_block_sizes(sys_)
+    eta0 = ilp.block_sizes["s0"]
+    res = optimal_block_sizes_for_buffers(
+        sys_, {"s0": range(max(1, eta0), eta0 + 4)}
+    )
+    assigned = sys_.with_block_sizes(res.block_sizes)
+    assert throughput_satisfied(assigned)
+    # the chosen vector's buffer total is minimal within the box
+    for eta in range(max(1, eta0), eta0 + 4):
+        cand = sys_.with_block_sizes({"s0": eta})
+        if not throughput_satisfied(cand):
+            continue
+        caps = stream_buffer_cost(cand, "s0")
+        assert sum(caps.values()) >= res.total_buffer
+
+
+def test_optimal_block_sizes_missing_range_rejected():
+    sys_ = system_of([Fraction(1, 80), Fraction(1, 80)])
+    with pytest.raises(ParameterError):
+        optimal_block_sizes_for_buffers(sys_, {"s0": range(1, 5)})
+
+
+def test_optimal_block_sizes_infeasible_box():
+    sys_ = system_of([Fraction(1, 80)], R=500, eps=5)
+    with pytest.raises(ParameterError):
+        optimal_block_sizes_for_buffers(sys_, {"s0": range(1, 3)})

@@ -1,0 +1,178 @@
+"""Unit tests for the Fig. 5 CSDF builder and Fig. 7 SDF abstraction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    ParameterError,
+    StreamSpec,
+    build_stream_csdf,
+    build_stream_sdf,
+    gamma,
+    measure_block_time,
+    tau_hat,
+    verify_with_sdf_model,
+)
+from repro.dataflow import execute, repetition_vector, validate_graph
+
+
+def one_stream_system(eta=4, mu=Fraction(1, 100), R=20, eps=5, rho=(2,), delta=1):
+    return GatewaySystem(
+        accelerators=tuple(AcceleratorSpec(f"a{i}", r) for i, r in enumerate(rho)),
+        streams=(StreamSpec("s0", mu, R, block_size=eta),),
+        entry_copy=eps,
+        exit_copy=delta,
+    )
+
+
+# ------------------------------------------------------------- CSDF builder
+def test_csdf_structure():
+    g, info = build_stream_csdf(one_stream_system(eta=4), "s0")
+    assert set(g.actors) == {"vP", "vG0", "vA0", "vG1", "vC"}
+    assert g.actor("vG0").phases == 4
+    assert g.actor("vG1").phases == 4
+    assert info.eta == 4
+
+
+def test_csdf_requires_block_size():
+    sys_ = GatewaySystem(
+        accelerators=(AcceleratorSpec("a", 1),),
+        streams=(StreamSpec("s0", Fraction(1, 10), 5),),
+    )
+    with pytest.raises(ParameterError):
+        build_stream_csdf(sys_, "s0")
+
+
+def test_csdf_first_phase_duration_is_eq1():
+    sys_ = one_stream_system(eta=4, R=20, eps=5)
+    g, _ = build_stream_csdf(sys_, "s0", epsilon_s=100)
+    assert g.actor("vG0").duration[0] == 100 + 20 + 5
+    assert g.actor("vG0").duration[1] == 5
+
+
+def test_csdf_is_consistent_and_live():
+    g, _ = build_stream_csdf(one_stream_system(eta=3), "s0", prequeued=3)
+    rep = validate_graph(g)
+    assert rep.ok, rep.errors
+
+
+def test_csdf_repetition_one_block_per_iteration():
+    g, _ = build_stream_csdf(one_stream_system(eta=5), "s0")
+    q = repetition_vector(g)
+    # one iteration = one block: vG0/vG1 one full cycle, vA eta firings
+    assert q["vG0"] == 1
+    assert q["vG1"] == 1
+    assert q["vA0"] == 5
+    assert q["vP"] == 5
+    assert q["vC"] == 5
+
+
+def test_csdf_accelerator_chain_actors():
+    sys_ = one_stream_system(rho=(1, 2, 3))
+    g, info = build_stream_csdf(sys_, "s0")
+    assert info.accelerators == ["vA0", "vA1", "vA2"]
+    assert g.actor("vA2").duration == (3.0,)
+
+
+def test_csdf_alpha_bounds_checked():
+    sys_ = one_stream_system(eta=4)
+    with pytest.raises(ParameterError):
+        build_stream_csdf(sys_, "s0", alpha0=2)
+    with pytest.raises(ParameterError):
+        build_stream_csdf(sys_, "s0", alpha3=3)
+    with pytest.raises(ParameterError):
+        build_stream_csdf(sys_, "s0", alpha0=8, prequeued=9)
+
+
+def test_csdf_idle_token_blocks_second_block():
+    """The second block must wait until the first fully drained (vG1 done)."""
+    sys_ = one_stream_system(eta=3, eps=2, rho=(1,), delta=1)
+    g, info = build_stream_csdf(
+        sys_, "s0", producer_period=1, consumer_period=1,
+        alpha0=12, alpha3=12, prequeued=12,
+    )
+    res = execute(g, iterations=2)
+    g0 = [f for f in res.firings_of("vG0") if f.phase == 0]
+    g1_last = [f for f in res.firings_of("vG1") if f.phase == info.eta - 1]
+    assert g0[1].start >= g1_last[0].end
+
+
+def test_measured_block_time_within_eq2_bound():
+    for eta in (1, 2, 5, 8):
+        for eps, rho, delta in ((5, 2, 1), (1, 4, 2), (3, 3, 3)):
+            sys_ = one_stream_system(eta=eta, R=17, eps=eps, rho=(rho,), delta=delta)
+            g, info = build_stream_csdf(
+                sys_, "s0", producer_period=Fraction(1, 10),
+                consumer_period=Fraction(1, 10),
+                alpha0=2 * eta, alpha3=2 * eta, prequeued=2 * eta,
+            )
+            taus = measure_block_time(g, info, blocks=2)
+            bound = tau_hat(sys_, "s0")
+            assert max(taus) <= bound, (eta, eps, rho, delta, taus, bound)
+
+
+def test_measured_block_time_close_to_bound_when_entry_dominates():
+    # ε >> ρ, δ: τ = R + η·ε + ρ + δ; bound = R + (η+2)·ε
+    eta = 6
+    sys_ = one_stream_system(eta=eta, R=10, eps=9, rho=(1,), delta=1)
+    g, info = build_stream_csdf(
+        sys_, "s0", producer_period=1, consumer_period=1,
+        alpha0=2 * eta, alpha3=2 * eta, prequeued=2 * eta,
+    )
+    tau = measure_block_time(g, info)[0]
+    assert tau == 10 + eta * 9 + 1 + 1
+    assert tau <= tau_hat(sys_, "s0")
+
+
+# --------------------------------------------------------- SDF abstraction
+def test_sdf_structure():
+    sys_ = one_stream_system(eta=4)
+    g = build_stream_sdf(sys_, "s0")
+    assert set(g.actors) == {"vP", "vS", "vC"}
+    assert g.actor("vS").duration[0] == float(gamma(sys_, "s0"))
+    assert g.edge("p2s").consumption == (4,)
+    assert g.edge("s2c").production == (4,)
+
+
+def test_sdf_requires_block_size():
+    sys_ = GatewaySystem(
+        accelerators=(AcceleratorSpec("a", 1),),
+        streams=(StreamSpec("s0", Fraction(1, 10), 5),),
+    )
+    with pytest.raises(ParameterError):
+        build_stream_sdf(sys_, "s0")
+
+
+def test_sdf_alpha_bounds_checked():
+    sys_ = one_stream_system(eta=4)
+    with pytest.raises(ParameterError):
+        build_stream_sdf(sys_, "s0", alpha0=3)
+
+
+def test_sdf_verification_passes_for_generous_block():
+    # very low rate requirement, easy block size
+    sys_ = one_stream_system(eta=10, mu=Fraction(1, 1000), R=20, eps=5)
+    ok, rate = verify_with_sdf_model(sys_, "s0")
+    assert ok
+    assert rate >= Fraction(1, 1000)
+
+
+def test_sdf_verification_fails_for_impossible_rate():
+    sys_ = one_stream_system(eta=2, mu=Fraction(1, 2), R=100, eps=5)
+    ok, rate = verify_with_sdf_model(sys_, "s0")
+    assert not ok
+    assert rate < Fraction(1, 2)
+
+
+def test_sdf_verification_matches_closed_form_on_sweep():
+    from repro.core import throughput_satisfied
+
+    for eta in (2, 4, 8, 16):
+        for mu in (Fraction(1, 40), Fraction(1, 60), Fraction(1, 200)):
+            sys_ = one_stream_system(eta=eta, mu=mu, R=20, eps=5, rho=(2,), delta=1)
+            ok_model, _ = verify_with_sdf_model(sys_, "s0")
+            ok_formula = throughput_satisfied(sys_, "s0")
+            assert ok_model == ok_formula, (eta, mu)

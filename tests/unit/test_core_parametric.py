@@ -1,0 +1,124 @@
+"""Unit tests for the symbolic block-size-parameterized schedule."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    Affine,
+    GatewaySystem,
+    StreamSpec,
+    build_stream_csdf,
+    measure_block_time,
+    parametric_schedule,
+    tau_hat,
+)
+
+
+def make(eps=9, rho=(1,), delta=1, R=10, n_streams=1, eta=4):
+    return GatewaySystem(
+        accelerators=tuple(AcceleratorSpec(f"a{i}", r) for i, r in enumerate(rho)),
+        streams=tuple(
+            StreamSpec(f"s{i}", Fraction(1, 1000), R, block_size=eta)
+            for i in range(n_streams)
+        ),
+        entry_copy=eps,
+        exit_copy=delta,
+    )
+
+
+# ---------------------------------------------------------------- Affine
+def test_affine_arithmetic():
+    a = Affine.eta(3) + Affine.const(5)
+    b = Affine.eta(1) + 2
+    assert (a + b)(10) == 40 + 7
+    assert (a - b)(10) == 20 + 3
+    assert a(0) == 5
+
+
+def test_affine_domination():
+    big = Affine.eta(3) + Affine.const(0)
+    small = Affine.eta(2) + Affine.const(1)
+    assert big.dominates(small, eta_min=1)
+    assert not small.dominates(big, eta_min=1)
+    # equal slopes: offset decides
+    assert (Affine.eta(2) + 5).dominates(Affine.eta(2) + 3)
+
+
+def test_affine_str():
+    assert str(Affine.const(7)) == "7"
+    assert str(Affine.eta(2)) == "2·η"
+    assert "η" in str(Affine.eta(1) + 3)
+
+
+# -------------------------------------------------------------- schedules
+def test_entry_bound_tau():
+    # ε dominates: τ(η) = ε·η + R + ρ + δ
+    sched = parametric_schedule(make(eps=9, rho=(1,), delta=1, R=10), "s0")
+    assert sched.tau.slope == 9
+    assert sched.tau.offset == 10 + 1 + 1
+    assert "ε" in sched.bottleneck
+
+
+def test_accelerator_bound_tau():
+    sched = parametric_schedule(make(eps=1, rho=(4,), delta=2, R=10), "s0")
+    assert sched.tau.slope == 4
+    assert sched.tau.offset == 10 + 1 + 2
+    assert "acc" in sched.bottleneck
+
+
+def test_exit_bound_tau():
+    sched = parametric_schedule(make(eps=2, rho=(1,), delta=3, R=10), "s0")
+    assert sched.tau.slope == 3
+    assert sched.tau.offset == 10 + 2 + 1
+    assert "δ" in sched.bottleneck
+
+
+def test_chain_tau():
+    sched = parametric_schedule(make(eps=5, rho=(2, 3), delta=1, R=7), "s0")
+    assert sched.tau.slope == 5
+    assert sched.tau.offset == 7 + 2 + 3 + 1
+    assert len(sched.stage_ends) == 2
+
+
+def test_eq1_first_phase_with_interference():
+    system = make(n_streams=2, eps=5, R=10, eta=4)
+    sched = parametric_schedule(system, "s0")
+    from repro.core import rho_g0_first_phase
+
+    assert sched.g0_first_phase(4) == rho_g0_first_phase(system, "s0")
+
+
+def test_symbolic_tau_matches_measured_csdf():
+    """τ(η) evaluated must equal the measured CSDF block time exactly."""
+    for eps, rho, delta in ((9, 1, 1), (1, 4, 2), (2, 1, 3), (3, 3, 3)):
+        for eta in (2, 5, 9):
+            system = make(eps=eps, rho=(rho,), delta=delta, R=13, eta=eta)
+            sched = parametric_schedule(system, "s0")
+            graph, info = build_stream_csdf(
+                system, "s0", producer_period=Fraction(1, 100),
+                consumer_period=Fraction(1, 100),
+                alpha0=2 * eta, alpha3=2 * eta, prequeued=2 * eta,
+            )
+            measured = measure_block_time(graph, info)[0]
+            assert sched.tau_at(eta) == measured, (eps, rho, delta, eta)
+
+
+def test_eq2_dominates_symbolically():
+    """Eq. 2 = c0·η + R + flush·c0 must dominate τ(η) for every mix."""
+    for eps, rho, delta in ((9, 1, 1), (1, 4, 2), (2, 1, 3), (7, 7, 7)):
+        system = make(eps=eps, rho=(rho,), delta=delta, R=13)
+        sched = parametric_schedule(system, "s0")  # raises if not dominated
+        c0 = system.c0
+        for eta in (1, 10, 1000):
+            assert sched.tau_at(eta) <= tau_hat(
+                system.with_block_sizes({"s0": eta}), "s0"
+            )
+
+
+def test_describe_output():
+    sched = parametric_schedule(make(), "s0")
+    text = sched.describe()
+    assert "τ(η)" in text
+    assert "bottleneck" in text

@@ -1,0 +1,168 @@
+"""Unit tests for the parameter objects and Equations 1-5."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    ParameterError,
+    StreamSpec,
+    block_round_length,
+    epsilon_hat,
+    gamma,
+    guaranteed_throughput,
+    rho_g0_first_phase,
+    tau_hat,
+    throughput_satisfied,
+)
+
+
+def make_system(n_streams=2, eta=None, mu=Fraction(1, 100), R=50, eps=15, rho=(1,), delta=1):
+    streams = tuple(
+        StreamSpec(f"s{i}", mu, R, block_size=eta) for i in range(n_streams)
+    )
+    accs = tuple(AcceleratorSpec(f"a{i}", r) for i, r in enumerate(rho))
+    return GatewaySystem(accelerators=accs, streams=streams, entry_copy=eps, exit_copy=delta)
+
+
+# ------------------------------------------------------------------ params
+def test_stream_requires_positive_throughput():
+    with pytest.raises(ParameterError):
+        StreamSpec("s", Fraction(0), 10)
+
+
+def test_stream_rejects_negative_reconfigure():
+    with pytest.raises(ParameterError):
+        StreamSpec("s", Fraction(1, 2), -1)
+
+
+def test_stream_rejects_zero_block_size():
+    with pytest.raises(ParameterError):
+        StreamSpec("s", Fraction(1, 2), 0, block_size=0)
+
+
+def test_stream_from_rate():
+    s = StreamSpec.from_rate("s", 44100, 100_000_000, 4100)
+    assert s.throughput == Fraction(44100, 100_000_000)
+
+
+def test_stream_with_block_size():
+    s = StreamSpec("s", Fraction(1, 10), 5)
+    s2 = s.with_block_size(8)
+    assert s.block_size is None
+    assert s2.block_size == 8
+
+
+def test_system_requires_accelerators_and_streams():
+    s = StreamSpec("s", Fraction(1, 10), 5)
+    a = AcceleratorSpec("a", 1)
+    with pytest.raises(ParameterError):
+        GatewaySystem(accelerators=(), streams=(s,))
+    with pytest.raises(ParameterError):
+        GatewaySystem(accelerators=(a,), streams=())
+
+
+def test_system_rejects_duplicate_streams():
+    s = StreamSpec("s", Fraction(1, 10), 5)
+    a = AcceleratorSpec("a", 1)
+    with pytest.raises(ParameterError):
+        GatewaySystem(accelerators=(a,), streams=(s, s))
+
+
+def test_c0_is_the_stage_maximum():
+    sys_ = make_system(eps=15, rho=(1, 3), delta=2)
+    assert sys_.c0 == 15
+    sys2 = make_system(eps=2, rho=(9,), delta=1)
+    assert sys2.c0 == 9
+
+
+def test_flush_stages_generalisation():
+    assert make_system(rho=(1,)).flush_stages == 2  # paper's "+2"
+    assert make_system(rho=(1, 1)).flush_stages == 3
+
+
+def test_with_block_sizes():
+    sys_ = make_system(n_streams=2)
+    sys2 = sys_.with_block_sizes({"s0": 10, "s1": 20})
+    assert sys2.stream("s0").block_size == 10
+    assert sys2.stream("s1").block_size == 20
+    with pytest.raises(ParameterError):
+        sys_.with_block_sizes({"nope": 1})
+
+
+def test_require_block_sizes():
+    sys_ = make_system()
+    with pytest.raises(ParameterError):
+        sys_.require_block_sizes()
+    sys_.with_block_sizes({"s0": 1, "s1": 1}).require_block_sizes()
+
+
+def test_unknown_stream_lookup():
+    with pytest.raises(ParameterError):
+        make_system().stream("zz")
+
+
+# ------------------------------------------------------------------ timing
+def test_eq2_tau_hat_single_accelerator():
+    # τ̂ = R + (η + 2)·max(ε, ρ, δ)
+    sys_ = make_system(n_streams=1, eta=10, R=50, eps=15, rho=(1,), delta=1)
+    assert tau_hat(sys_, "s0") == 50 + (10 + 2) * 15
+
+
+def test_eq2_requires_block_size():
+    sys_ = make_system()
+    with pytest.raises(ParameterError):
+        tau_hat(sys_, "s0")
+
+
+def test_eq3_epsilon_hat_sums_other_streams():
+    sys_ = make_system(n_streams=3, eta=4, R=10, eps=5, rho=(1,), delta=1)
+    tau = 10 + 6 * 5  # each stream identical
+    assert epsilon_hat(sys_, "s0") == 2 * tau
+
+
+def test_eq3_single_stream_no_wait():
+    sys_ = make_system(n_streams=1, eta=4)
+    assert epsilon_hat(sys_, "s0") == 0
+
+
+def test_eq4_gamma_is_total_rotation():
+    sys_ = make_system(n_streams=3, eta=4, R=10, eps=5)
+    assert gamma(sys_, "s0") == epsilon_hat(sys_, "s0") + tau_hat(sys_, "s0")
+    assert gamma(sys_, "s0") == block_round_length(sys_)
+
+
+def test_eq1_first_phase_duration():
+    sys_ = make_system(n_streams=2, eta=4, R=10, eps=5)
+    assert rho_g0_first_phase(sys_, "s0") == epsilon_hat(sys_, "s0") + 10 + 5
+
+
+def test_eq5_guaranteed_throughput():
+    sys_ = make_system(n_streams=2, eta=100, mu=Fraction(1, 100), R=50, eps=15)
+    assert guaranteed_throughput(sys_, "s0") == Fraction(100, gamma(sys_, "s0"))
+
+
+def test_eq5_satisfaction_boundary():
+    # pick η so the guarantee exactly straddles the requirement
+    mu = Fraction(1, 50)
+    sys_small = make_system(n_streams=1, eta=10, mu=mu, R=50, eps=1, rho=(1,), delta=1)
+    # γ = 50 + 12 = 62, guarantee 10/62 > 1/50? 10/62 = 0.161 > 0.02 yes
+    assert throughput_satisfied(sys_small)
+    sys_tight = make_system(n_streams=1, eta=1, mu=Fraction(1, 2), R=50, eps=1)
+    # guarantee = 1/(50+3) << 1/2
+    assert not throughput_satisfied(sys_tight)
+
+
+def test_throughput_satisfied_all_streams():
+    mu = Fraction(1, 1000)
+    sys_ = make_system(n_streams=2, eta=50, mu=mu, R=50, eps=2)
+    assert throughput_satisfied(sys_)
+    assert throughput_satisfied(sys_, "s1")
+
+
+def test_tau_hat_with_accelerator_chain():
+    sys_ = make_system(n_streams=1, eta=10, R=0, eps=1, rho=(1, 1), delta=1)
+    # flush = 3 for two accelerators
+    assert tau_hat(sys_, "s0") == (10 + 3) * 1

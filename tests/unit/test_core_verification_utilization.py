@@ -1,0 +1,115 @@
+"""Unit tests for the verification battery and utilization accounting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    ParameterError,
+    StreamSpec,
+    accelerator_utilization_gain,
+    analyze_utilization,
+    block_round_length,
+    compute_block_sizes,
+    verify_system,
+)
+
+
+def system_of(mus, R=20, eps=5, rho=(1,), delta=1, etas=None):
+    streams = tuple(
+        StreamSpec(f"s{i}", mu, R, block_size=None if etas is None else etas[i])
+        for i, mu in enumerate(mus)
+    )
+    return GatewaySystem(
+        accelerators=tuple(AcceleratorSpec(f"a{i}", r) for i, r in enumerate(rho)),
+        streams=streams,
+        entry_copy=eps,
+        exit_copy=delta,
+    )
+
+
+# ------------------------------------------------------------- verification
+def test_verify_system_passes_on_ilp_solution():
+    sys_ = system_of([Fraction(1, 60), Fraction(1, 120)], R=20, eps=4)
+    res = compute_block_sizes(sys_)
+    assigned = sys_.with_block_sizes(res.block_sizes)
+    report = verify_system(assigned)
+    assert report.ok, report.summary()
+    assert len(report.streams) == 2
+    for s in report.streams:
+        assert s.eq5_ok and s.sdf_ok and s.tau_ok and s.refinement_ok
+
+
+def test_verify_system_flags_undersized_blocks():
+    sys_ = system_of([Fraction(1, 30)], R=100, eps=5, etas=[1])
+    report = verify_system(sys_)
+    assert not report.ok
+    assert not report.streams[0].eq5_ok
+    assert "FAIL" in report.summary()
+
+
+def test_verify_system_requires_block_sizes():
+    sys_ = system_of([Fraction(1, 30)])
+    with pytest.raises(ParameterError):
+        verify_system(sys_)
+
+
+def test_verify_summary_format():
+    sys_ = system_of([Fraction(1, 100)], R=10, eps=3, etas=[4])
+    out = verify_system(sys_).summary()
+    assert "stream" in out and "s0" in out
+
+
+# -------------------------------------------------------------- utilization
+def test_utilization_round_decomposition():
+    sys_ = system_of([Fraction(1, 60), Fraction(1, 120)], R=20, eps=5, etas=[10, 5])
+    u = analyze_utilization(sys_)
+    assert u.round_length == block_round_length(sys_)
+    assert u.samples_per_round == 15
+    assert u.copy_cycles == 15 * 5
+    assert u.reconfig_cycles == 40
+    # fractions sum sensibly
+    assert 0 < float(u.gateway_copy_fraction) < 1
+    assert u.data_processing_fraction + u.state_management_fraction == 1
+
+
+def test_utilization_requires_block_sizes():
+    sys_ = system_of([Fraction(1, 60)])
+    with pytest.raises(ParameterError):
+        analyze_utilization(sys_)
+
+
+def test_utilization_flush_cycles_consistent():
+    sys_ = system_of([Fraction(1, 60)], R=20, eps=5, etas=[10])
+    u = analyze_utilization(sys_)
+    # τ̂ = R + (η + F)c0 => flush = F·c0
+    assert u.flush_cycles == sys_.flush_stages * sys_.c0
+    assert u.round_length == u.copy_cycles + u.reconfig_cycles + u.flush_cycles
+
+
+def test_pal_prototype_utilization_split():
+    """With the paper's ε=15, R=4100 and computed blocks, the transfer-centric
+    split lands near the quoted 5% data / 95% state management."""
+    clock = 100_000_000
+    audio = 44_100
+    mus = [Fraction(64 * audio, clock), Fraction(8 * audio, clock)] * 2
+    sys_ = GatewaySystem(
+        accelerators=(AcceleratorSpec("cordic", 1), AcceleratorSpec("lpf", 1)),
+        streams=tuple(StreamSpec(f"s{i}", mu, 4100) for i, mu in enumerate(mus)),
+        entry_copy=15,
+        exit_copy=1,
+    )
+    res = compute_block_sizes(sys_)
+    u = analyze_utilization(sys_.with_block_sizes(res.block_sizes))
+    assert 0.03 < float(u.data_processing_fraction) < 0.10
+    assert 0.90 < float(u.state_management_fraction) < 0.97
+    assert 0.02 < float(u.reconfig_fraction) < 0.08
+
+
+def test_accelerator_utilization_gain():
+    assert accelerator_utilization_gain(4, 1) == 4  # the paper's factor 4
+    assert accelerator_utilization_gain(6, 2) == 3
+    with pytest.raises(ValueError):
+        accelerator_utilization_gain(0, 1)

@@ -1,0 +1,74 @@
+"""Unit tests for DOT/CSV export."""
+
+from repro.dataflow import (
+    SDFGraph,
+    admissible_schedule,
+    bound_channel,
+    schedule_to_csv,
+    to_dot,
+)
+
+
+def sample_graph():
+    g = SDFGraph("demo")
+    g.add_actor("A", 2)
+    g.add_actor("B", 3)
+    g.add_edge("A", "B", production=4, consumption=1, tokens=2, name="ch")
+    return bound_channel(g, "ch", 8)
+
+
+def test_dot_contains_actors_and_durations():
+    dot = to_dot(sample_graph())
+    assert 'digraph "demo"' in dot
+    assert '"A"' in dot and "ρ=2" in dot
+    assert '"B"' in dot and "ρ=3" in dot
+
+
+def test_dot_edge_quanta_and_tokens():
+    dot = to_dot(sample_graph())
+    assert 'taillabel="4"' in dot
+    assert 'headlabel="1"' in dot
+    assert "●2" in dot  # initial tokens on the forward edge
+
+
+def test_dot_capacity_edges_dashed():
+    dot = to_dot(sample_graph())
+    assert "style=dashed" in dot
+
+
+def test_dot_multiphase_quanta():
+    from repro.dataflow import CSDFGraph
+
+    g = CSDFGraph("c")
+    g.add_actor("p", duration=[1, 2], phases=2)
+    g.add_actor("s", duration=1)
+    g.add_edge("p", "s", production=[3, 0], consumption=1)
+    dot = to_dot(g)
+    assert "[3,0]" in dot
+    assert "ρ=[1,2]" in dot
+
+
+def test_dot_is_valid_enough_for_graphviz():
+    dot = to_dot(sample_graph())
+    assert dot.count("{") == dot.count("}")
+    assert dot.strip().endswith("}")
+
+
+def test_schedule_csv_rows():
+    sched = admissible_schedule(sample_graph(), iterations=1)
+    csv = schedule_to_csv(sched)
+    lines = csv.strip().split("\n")
+    assert lines[0] == "actor,phase,start,end"
+    assert len(lines) == 1 + len(sched.firings)
+    # rows sorted by start time
+    starts = [float(line.split(",")[2]) for line in lines[1:]]
+    assert starts == sorted(starts)
+
+
+def test_schedule_csv_round_trips_values():
+    sched = admissible_schedule(sample_graph(), iterations=1)
+    csv = schedule_to_csv(sched)
+    first = csv.strip().split("\n")[1].split(",")
+    actor, phase, start, end = first[0], int(first[1]), float(first[2]), float(first[3])
+    assert actor in {"A", "B"}
+    assert end >= start

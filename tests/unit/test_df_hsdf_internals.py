@@ -1,0 +1,142 @@
+"""Unit tests for HSDF-expansion internals and MCM corner cases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dataflow import (
+    CSDFGraph,
+    SDFGraph,
+    bound_channel,
+    execute,
+    expand_to_hsdf,
+    max_cycle_ratio,
+    mcm_throughput,
+    steady_state_throughput,
+)
+from repro.dataflow.hsdf import _cumulative, _producer_of
+
+
+# ------------------------------------------------------------ cumulative
+def test_cumulative_uniform():
+    assert _cumulative((2,), 0) == 0
+    assert _cumulative((2,), 3) == 6
+
+
+def test_cumulative_cyclic_pattern():
+    q = (3, 0, 1)
+    assert [_cumulative(q, k) for k in range(7)] == [0, 3, 3, 4, 7, 7, 8]
+
+
+def test_cumulative_negative_firings():
+    q = (2, 1)
+    # firing -1 is the last phase of the previous cycle
+    assert _cumulative(q, -1) == -1
+    assert _cumulative(q, -2) == -3
+    assert _cumulative(q, -4) == -6
+
+
+def test_producer_of_uniform():
+    assert _producer_of((2,), 0) == 0
+    assert _producer_of((2,), 1) == 0
+    assert _producer_of((2,), 2) == 1
+
+
+def test_producer_of_with_zero_phases():
+    q = (3, 0, 1)
+    # tokens 0,1,2 from firing 0; token 3 from firing 2 (phase 1 makes none)
+    assert _producer_of(q, 0) == 0
+    assert _producer_of(q, 2) == 0
+    assert _producer_of(q, 3) == 2
+    assert _producer_of(q, 4) == 3
+
+
+def test_producer_of_negative_tokens():
+    q = (2,)
+    assert _producer_of(q, -1) == -1
+    assert _producer_of(q, -2) == -1
+    assert _producer_of(q, -3) == -2
+
+
+# ---------------------------------------------------- expansion semantics
+def test_expanded_execution_matches_original_sdf():
+    """The HSDF expansion's self-timed throughput equals the original's."""
+    g = SDFGraph("orig")
+    g.add_actor("A", 2)
+    g.add_actor("B", 3)
+    g.add_edge("A", "B", production=3, consumption=2, tokens=1, name="ch")
+    gb = bound_channel(g, "ch", 7)
+    h = expand_to_hsdf(gb)
+    orig = steady_state_throughput(gb, actor="A").firing_rate
+    # in the expansion, actor A appears as q[A] nodes each firing once per
+    # iteration: sum their rates
+    from repro.dataflow import firing_repetition_vector
+
+    reps = firing_repetition_vector(gb)
+    h_rate = sum(
+        steady_state_throughput(h, actor=f"A#{k}").firing_rate
+        for k in range(reps["A"])
+    )
+    assert h_rate == orig
+
+
+def test_expanded_csdf_phase_structure():
+    g = CSDFGraph("c")
+    g.add_actor("p", duration=[1, 4, 2], phases=3)
+    g.add_actor("s", duration=1)
+    g.add_edge("p", "s", production=[1, 0, 2], consumption=1, name="ch")
+    gb = bound_channel(g, "ch", 4)
+    h = expand_to_hsdf(gb)
+    # p has 3 firings (one cycle) per iteration; s has 3
+    assert "p#0" in h.actors and "p#2" in h.actors
+    assert h.actor("p#1").duration == (4.0,)
+    # token 0 consumed by s#0 comes from p#0; tokens 1,2 from p#2
+    deps_s2 = [e for e in h.edges.values() if e.dst == "s#2" and e.src.startswith("p")]
+    assert {e.src for e in deps_s2} == {"p#2"}
+
+
+def test_mcm_matches_execution_period_exactly():
+    g = SDFGraph("p")
+    g.add_actor("A", 7)
+    g.add_actor("B", 5)
+    g.add_edge("A", "B", name="f")
+    g.add_edge("B", "A", tokens=2, name="b")
+    res = execute(g, iterations=8, record=True)
+    starts = [f.start for f in res.firings_of("A")]
+    steady_period = starts[-1] - starts[-2]
+    assert mcm_throughput(g, "A") == Fraction(1, int(steady_period))
+
+
+def test_mcm_parallel_cycles_picks_worst():
+    h = SDFGraph("two-rings")
+    for n, d in (("A", 1), ("B", 1), ("C", 6), ("D", 6)):
+        h.add_actor(n, d)
+    # ring1: A<->B with 2 tokens (ratio 2/2=1); ring2: C<->D 2 tokens (12/2=6)
+    h.add_edge("A", "B", tokens=1)
+    h.add_edge("B", "A", tokens=1)
+    h.add_edge("C", "D", tokens=1)
+    h.add_edge("D", "C", tokens=1)
+    res = max_cycle_ratio(h)
+    assert res.ratio == Fraction(6)
+    assert set(res.cycle) <= {"C", "D"}
+
+
+def test_mcm_fractional_result():
+    h = SDFGraph("f")
+    h.add_actor("A", 3)
+    h.add_actor("B", 4)
+    h.add_edge("A", "B", tokens=2)
+    h.add_edge("B", "A", tokens=1)
+    # cycle: 7 duration / 3 tokens
+    assert max_cycle_ratio(h).ratio == Fraction(7, 3)
+
+
+def test_mcm_self_loop_dominates():
+    h = SDFGraph("s")
+    h.add_actor("A", 9)
+    h.add_actor("B", 1)
+    h.add_edge("A", "A", tokens=1, name="self")
+    h.add_edge("A", "B", tokens=0)
+    h.add_edge("B", "A", tokens=5)
+    res = max_cycle_ratio(h)
+    assert res.ratio == Fraction(9)

@@ -1,0 +1,101 @@
+"""Unit tests for the hardware cost model (Table I / Fig. 11)."""
+
+import pytest
+
+from repro.hwcost import (
+    BillOfMaterials,
+    COMPONENTS,
+    CostError,
+    compare_sharing,
+    component,
+    paper_table1,
+)
+
+
+def test_table1_component_costs_exact():
+    assert component("entry_exit_pair").slices == 3788
+    assert component("entry_exit_pair").luts == 4445
+    assert component("fir_downsampler").slices == 6512
+    assert component("fir_downsampler").luts == 10837
+    assert component("cordic").slices == 1714
+    assert component("cordic").luts == 1882
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(CostError):
+        component("flux_capacitor")
+
+
+def test_fig11_split_sums_to_pair():
+    parts = ["microblaze", "entry_gateway_logic", "exit_gateway"]
+    assert sum(component(p).slices for p in parts) == component("entry_exit_pair").slices
+    assert sum(component(p).luts for p in parts) == component("entry_exit_pair").luts
+
+
+def test_microblaze_dominates_pair_cost():
+    """'the hardware costs can be mostly attributed to the MicroBlaze'."""
+    pair = component("entry_exit_pair")
+    mb = component("microblaze")
+    assert mb.slices > pair.slices / 2
+    assert mb.luts > pair.luts / 2
+
+
+def test_component_arithmetic():
+    c = component("cordic")
+    doubled = 2 * c
+    assert doubled.slices == 2 * 1714
+    summed = c + component("fir_downsampler")
+    assert summed.luts == 1882 + 10837
+
+
+def test_bom_totals():
+    bom = BillOfMaterials("x").add(4, "cordic").add(1, "entry_exit_pair")
+    assert bom.slices == 4 * 1714 + 3788
+    assert len(bom.rows()) == 2
+
+
+def test_bom_negative_count_rejected():
+    with pytest.raises(ValueError):
+        BillOfMaterials("x").add(-1, "cordic")
+
+
+def test_paper_table1_totals_exact():
+    cmp = paper_table1()
+    assert cmp.non_shared.slices == 32904
+    assert cmp.non_shared.luts == 50876
+    assert cmp.shared.slices == 12014
+    assert cmp.shared.luts == 17164
+
+
+def test_paper_table1_savings_exact():
+    cmp = paper_table1()
+    assert cmp.slice_savings == 20890
+    assert cmp.lut_savings == 33712
+    assert cmp.slice_savings_pct == pytest.approx(63.5, abs=0.05)
+    assert cmp.lut_savings_pct == pytest.approx(66.3, abs=0.05)
+
+
+def test_paper_accelerator_reduction_75pct():
+    assert paper_table1().accelerator_reduction_pct == pytest.approx(75.0)
+
+
+def test_table_rendering():
+    out = paper_table1().table()
+    assert "Savings" in out
+    assert "63.5%" in out and "66.3%" in out
+
+
+def test_compare_sharing_custom_counts():
+    cmp = compare_sharing({"cordic": 6}, shared_counts={"cordic": 2},
+                          gateway_pairs=2)
+    assert cmp.non_shared.slices == 6 * 1714
+    assert cmp.shared.slices == 2 * 3788 + 2 * 1714
+    # with this much gateway overhead, savings shrink
+    assert cmp.slice_savings < 6 * 1714 - 1714
+
+
+def test_sharing_not_always_cheaper():
+    """For a single cheap accelerator the gateway pair costs more than it
+    saves — the trade-off the paper's Section VI-B implies."""
+    cmp = compare_sharing({"cordic": 2})
+    assert cmp.slice_savings < 0  # 2 CORDICs are cheaper than gw + 1 CORDIC

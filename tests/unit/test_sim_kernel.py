@@ -1,0 +1,313 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, SimulationError, Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield sim.timeout(5)
+        done.append(sim.now)
+        yield sim.timeout(3)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [5, 8]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        v = yield sim.timeout(2, value="hello")
+        seen.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_zero_delay_timeout_fires_same_cycle():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        yield sim.timeout(0)
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times == [0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        v = yield ev
+        got.append((sim.now, v))
+
+    def trigger():
+        yield sim.timeout(7)
+        ev.succeed(42)
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert got == [(7, 42)]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as err:
+            caught.append(str(err))
+
+    sim.process(waiter())
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_process_return_value_via_run_until():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3)
+        return "result"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "result"
+    assert sim.now == 3
+
+
+def test_process_waits_on_subprocess():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield sim.timeout(4)
+        order.append("child")
+        return 99
+
+    def parent():
+        v = yield sim.process(child())
+        order.append(("parent", v, sim.now))
+
+    sim.process(parent())
+    sim.run()
+    assert order == ["child", ("parent", 99, 4)]
+
+
+def test_same_cycle_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_absolute_time():
+    sim = Simulator()
+    ticks = []
+
+    def clock():
+        while True:
+            yield sim.timeout(10)
+            ticks.append(sim.now)
+
+    sim.process(clock())
+    sim.run(until=35)
+    assert ticks == [10, 20, 30]
+    assert sim.now == 35
+
+
+def test_run_backwards_rejected():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(SimulationError):
+        sim.run(until=5)
+
+
+def test_run_until_event_that_never_fires():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def attacker(p):
+        yield sim.timeout(6)
+        p.interrupt("stop")
+
+    p = sim.process(victim())
+    sim.process(attacker(p))
+    sim.run()
+    assert log == [(6, "stop")]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_stale_wakeup_after_interrupt_ignored():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            pass
+        yield sim.timeout(500)
+        log.append(sim.now)
+
+    def attacker(p):
+        yield sim.timeout(10)
+        p.interrupt()
+
+    p = sim.process(victim())
+    sim.process(attacker(p))
+    sim.run()
+    # victim resumed at t=10, then slept 500 more; the stale t=100 wakeup
+    # must not resume it early.
+    assert log == [510]
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        values = yield sim.all_of([sim.timeout(3, "a"), sim.timeout(7, "b")])
+        got.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(7, ["a", "b"])]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        idx, val = yield sim.any_of([sim.timeout(9, "slow"), sim.timeout(2, "fast")])
+        got.append((sim.now, idx, val))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(2, 1, "fast")]
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_exception_propagates_when_unwatched():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("oops")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="oops"):
+        sim.run()
+
+
+def test_process_exception_delivered_to_watcher():
+    sim = Simulator()
+    caught = []
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("oops")
+
+    def watcher():
+        try:
+            yield sim.process(bad())
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    sim.process(watcher())
+    sim.run()
+    assert caught == ["oops"]
+
+
+def test_step_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.timeout(12)
+    assert sim.peek() == 12

@@ -1,0 +1,238 @@
+"""Unit tests for FifoQueue and Signal primitives."""
+
+import pytest
+
+from repro.sim import FifoQueue, Signal, SimulationError, Simulator
+
+
+# ---------------------------------------------------------------- FifoQueue
+def test_fifo_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        FifoQueue(sim, 0)
+
+
+def test_fifo_put_get_order():
+    sim = Simulator()
+    q = FifoQueue(sim, 4)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield q.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            v = yield q.get()
+            got.append(v)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_fifo_put_blocks_when_full():
+    sim = Simulator()
+    q = FifoQueue(sim, 2)
+    times = []
+
+    def producer():
+        for i in range(3):
+            yield q.put(i)
+            times.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(10)
+        yield q.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # first two puts accepted immediately, third waits for the get at t=10
+    assert times == [0, 0, 10]
+
+
+def test_fifo_get_blocks_when_empty():
+    sim = Simulator()
+    q = FifoQueue(sim, 2)
+    arrival = []
+
+    def consumer():
+        v = yield q.get()
+        arrival.append((sim.now, v))
+
+    def producer():
+        yield sim.timeout(5)
+        yield q.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert arrival == [(5, "x")]
+
+
+def test_fifo_level_and_space():
+    sim = Simulator()
+    q = FifoQueue(sim, 3)
+    assert q.try_put("a") and q.try_put("b")
+    assert q.level == 2
+    assert q.space == 1
+    ok, item = q.try_get()
+    assert ok and item == "a"
+    assert q.level == 1
+
+
+def test_fifo_try_put_full_returns_false():
+    sim = Simulator()
+    q = FifoQueue(sim, 1)
+    assert q.try_put(1)
+    assert not q.try_put(2)
+
+
+def test_fifo_try_get_empty_returns_false():
+    sim = Simulator()
+    q = FifoQueue(sim, 1)
+    ok, item = q.try_get()
+    assert not ok and item is None
+
+
+def test_fifo_direct_handover_to_waiting_getter():
+    sim = Simulator()
+    q = FifoQueue(sim, 1)
+    got = []
+
+    def consumer():
+        v = yield q.get()
+        got.append(v)
+
+    sim.process(consumer())
+    sim.run()  # consumer now parked
+    assert q.try_put("direct")
+    sim.run()
+    assert got == ["direct"]
+    assert q.level == 0
+
+
+def test_fifo_counters():
+    sim = Simulator()
+    q = FifoQueue(sim, 8)
+    for i in range(5):
+        q.try_put(i)
+    for _ in range(3):
+        q.try_get()
+    assert q.total_put == 5
+    assert q.total_got == 3
+
+
+def test_fifo_multiple_getters_fifo_order():
+    sim = Simulator()
+    q = FifoQueue(sim, 4)
+    got = []
+
+    def consumer(tag):
+        v = yield q.get()
+        got.append((tag, v))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.run()
+    q.try_put("a")
+    q.try_put("b")
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+# ------------------------------------------------------------------- Signal
+def test_signal_initial_count():
+    sim = Simulator()
+    s = Signal(sim, initial=3)
+    assert s.count == 3
+    assert s.try_acquire(2)
+    assert s.count == 1
+
+
+def test_signal_negative_initial_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Signal(sim, initial=-1)
+
+
+def test_signal_acquire_blocks_until_release():
+    sim = Simulator()
+    s = Signal(sim)
+    when = []
+
+    def waiter():
+        yield s.acquire(2)
+        when.append(sim.now)
+
+    def releaser():
+        yield sim.timeout(4)
+        s.release(1)
+        yield sim.timeout(4)
+        s.release(1)
+
+    sim.process(waiter())
+    sim.process(releaser())
+    sim.run()
+    assert when == [8]
+
+
+def test_signal_fifo_service_no_overtaking():
+    """A small request queued behind a big one must not overtake it."""
+    sim = Simulator()
+    s = Signal(sim)
+    order = []
+
+    def big():
+        yield s.acquire(5)
+        order.append("big")
+
+    def small():
+        yield sim.timeout(1)
+        yield s.acquire(1)
+        order.append("small")
+
+    sim.process(big())
+    sim.process(small())
+    s_units = [2, 2, 2]
+
+    def feeder():
+        for u in s_units:
+            yield sim.timeout(10)
+            s.release(u)
+
+    sim.process(feeder())
+    sim.run()
+    assert order == ["big", "small"]
+
+
+def test_signal_try_acquire_respects_queue():
+    sim = Simulator()
+    s = Signal(sim, initial=1)
+
+    def waiter():
+        yield s.acquire(5)
+
+    sim.process(waiter())
+    sim.run()
+    # 1 unit is available but the queued waiter has priority
+    assert not s.try_acquire(1)
+
+
+def test_signal_release_zero_rejected():
+    sim = Simulator()
+    s = Signal(sim)
+    with pytest.raises(SimulationError):
+        s.release(0)
+
+
+def test_signal_acquire_zero_rejected():
+    sim = Simulator()
+    s = Signal(sim)
+    with pytest.raises(SimulationError):
+        s.acquire(0)
+    with pytest.raises(SimulationError):
+        s.try_acquire(0)

@@ -1,0 +1,91 @@
+"""Unit tests for the tracing utilities."""
+
+import pytest
+
+from repro.sim import GanttRow, IntervalAccumulator, Tracer
+
+
+def test_tracer_records_in_order():
+    t = Tracer()
+    t.log(0, "gw", "admit", stream="s0")
+    t.log(5, "acc", "sample")
+    assert [r.kind for r in t.records] == ["admit", "sample"]
+    assert t.records[0].data == {"stream": "s0"}
+
+
+def test_tracer_disabled_drops_everything():
+    t = Tracer(enabled=False)
+    t.log(0, "gw", "admit")
+    assert t.records == []
+
+
+def test_tracer_kind_filter():
+    t = Tracer(kinds={"admit"})
+    t.log(0, "gw", "admit")
+    t.log(1, "gw", "sample")
+    assert t.count("admit") == 1
+    assert t.count("sample") == 0
+
+
+def test_tracer_by_kind_and_source():
+    t = Tracer()
+    t.log(0, "a", "x")
+    t.log(1, "b", "x")
+    t.log(2, "a", "y")
+    assert len(t.by_kind("x")) == 2
+    assert len(t.by_source("a")) == 2
+
+
+def test_tracer_clear():
+    t = Tracer()
+    t.log(0, "a", "x")
+    t.clear()
+    assert t.records == []
+
+
+def test_interval_accumulator_basic():
+    acc = IntervalAccumulator()
+    acc.begin("busy", 10)
+    acc.end("busy", 25)
+    assert acc.busy("busy") == 15
+    assert acc.utilization("busy", 100) == pytest.approx(0.15)
+
+
+def test_interval_accumulator_nested_counts_outer_only():
+    acc = IntervalAccumulator()
+    acc.begin("busy", 0)
+    acc.begin("busy", 5)
+    acc.end("busy", 10)
+    acc.end("busy", 20)
+    assert acc.busy("busy") == 20
+
+
+def test_interval_accumulator_unmatched_end_raises():
+    acc = IntervalAccumulator()
+    with pytest.raises(ValueError):
+        acc.end("busy", 5)
+
+
+def test_interval_accumulator_backwards_interval_raises():
+    acc = IntervalAccumulator()
+    acc.begin("busy", 10)
+    with pytest.raises(ValueError):
+        acc.end("busy", 5)
+
+
+def test_interval_accumulator_zero_horizon_raises():
+    acc = IntervalAccumulator()
+    with pytest.raises(ValueError):
+        acc.utilization("busy", 0)
+
+
+def test_gantt_row_renders_segments():
+    row = GanttRow("acc0", ((0, 10, "s0"), (10, 20, "t1")))
+    text = row.render(scale=1, width=20)
+    assert "acc0" in text
+    assert "s" in text and "t" in text
+
+
+def test_gantt_row_idle():
+    row = GanttRow("acc0", ())
+    assert "idle" in row.render()
