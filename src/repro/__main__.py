@@ -8,10 +8,16 @@ Usage::
     python -m repro fig8
     python -m repro utilization
     python -m repro schedule [--eta N]
+    python -m repro analyze CONFIG.json
+    python -m repro metrics CONFIG.json [--blocks N] [--json]
+    python -m repro conformance CONFIG.json [--blocks N] [--json] [--uncalibrated]
 
 Each subcommand prints one reproduced artefact; together they cover the
 evaluation section.  `pytest benchmarks/ --benchmark-only -s` runs the full
-harness with assertions.
+harness with assertions.  ``metrics`` and ``conformance`` run the
+cycle-level architecture simulation on a JSON system description and report
+observed per-stream runtime metrics, respectively the observed-vs-bound
+(Eq. 2–5) margins; ``conformance`` exits non-zero on any bound violation.
 """
 
 from __future__ import annotations
@@ -153,6 +159,63 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _simulated_run(args: argparse.Namespace):
+    """Load a JSON system, assign block sizes if needed, simulate it."""
+    from pathlib import Path
+
+    from .arch import simulate_system
+    from .core import compute_block_sizes, load_system
+
+    system = load_system(Path(args.config).read_text())
+    if any(s.block_size is None for s in system.streams):
+        result = compute_block_sizes(system, backend=args.backend)
+        system = system.with_block_sizes(result.block_sizes)
+    return simulate_system(system, blocks=args.blocks)
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Simulate a JSON gateway system and print per-stream runtime metrics."""
+    import json
+
+    from .sim import metrics_table
+
+    run = _simulated_run(args)
+    metrics = run.metrics()
+    util = run.utilization()
+    if args.json:
+        print(json.dumps({
+            "horizon": run.horizon,
+            "streams": [m.to_dict() for m in metrics.values()],
+            "gateway": util.to_dict(),
+        }, indent=2))
+        return 0
+    print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles")
+    print()
+    print(metrics_table(metrics.values()))
+    print()
+    print(f"entry gateway: copy {util.copy:.1%}, reconfig {util.reconfig:.1%}, "
+          f"poll {util.poll:.1%}, other {util.other:.1%} "
+          f"({util.blocks_admitted} blocks admitted)")
+    return 0
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    """Simulate a JSON gateway system; report observed-vs-bound margins."""
+    import json
+
+    run = _simulated_run(args)
+    report = run.conformance(calibrated=not args.uncalibrated)
+    if args.json:
+        print(json.dumps({"horizon": run.horizon, **report.to_dict()}, indent=2))
+    else:
+        which = "bare-model" if args.uncalibrated else "calibrated"
+        print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles; "
+              f"checking against {which} Eq. 2–5 bounds")
+        print()
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="IPDPSW'15 accelerator-sharing reproduction"
@@ -186,6 +249,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "metrics", help="simulate a JSON config; per-stream runtime metrics"
+    )
+    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
+    p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "conformance",
+        help="simulate a JSON config; observed-vs-bound (Eq. 2-5) margins",
+    )
+    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
+    p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--uncalibrated", action="store_true",
+                   help="check against the bare model parameters instead of "
+                        "the architecture-calibrated ones")
+    p.set_defaults(fn=cmd_conformance)
 
     args = parser.parse_args(argv)
     return args.fn(args)

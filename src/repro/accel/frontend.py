@@ -18,7 +18,7 @@ and the paper's 64:1 overall rate ratio.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

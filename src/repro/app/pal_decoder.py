@@ -22,7 +22,6 @@ is validated against the temporal analysis of :mod:`repro.core`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 
 import numpy as np
 
@@ -37,6 +36,7 @@ from ..accel import (
     synthesize_pal_baseband,
 )
 from ..arch import Compute, Get, MPSoC, Put, TaskSpec
+from ..sim import Kind
 
 __all__ = ["PalDecoderConfig", "decode_functional", "build_pal_soc", "run_pal_on_soc",
            "PalSocHandles"]
@@ -125,8 +125,27 @@ class PalSocHandles:
     out_fifos: dict[str, object]
     collected: dict[str, list]
 
+    def stream_metrics(self) -> dict:
+        """Observed per-stream :class:`~repro.sim.StreamMetrics`.
 
-def build_pal_soc(config: PalDecoderConfig, baseband: np.ndarray) -> PalSocHandles:
+        Trace-derived quantities (observed sample latency) are populated
+        when the SoC was built with ``trace=True``.
+        """
+        tracer = self.soc.tracer if self.soc.tracer.enabled else None
+        return self.chain.stream_metrics(tracer)
+
+    def utilization(self) -> object:
+        """Entry-gateway :class:`~repro.sim.GatewayUtilization` so far."""
+        return self.chain.utilization_breakdown(self.soc.sim.now)
+
+
+def build_pal_soc(
+    config: PalDecoderConfig,
+    baseband: np.ndarray,
+    trace: bool = False,
+    trace_mode: str = "ring",
+    trace_capacity: int | None = 65536,
+) -> PalSocHandles:
     """Wire the Fig. 10 task graph onto the shared-accelerator MPSoC.
 
     Streams (round-robin order mirrors the prototype):
@@ -144,7 +163,9 @@ def build_pal_soc(config: PalDecoderConfig, baseband: np.ndarray) -> PalSocHandl
     stage-2 inputs ("passed … to a processing tile or entry-gateway").
     """
     n = len(baseband)
-    soc = MPSoC(n_stations=8)
+    soc = MPSoC(n_stations=8, trace=trace,
+                trace_kinds=Kind.METRICS if trace else None,
+                trace_mode=trace_mode, trace_capacity=trace_capacity)
     producer = soc.add_processor("fe")       # front-end feeder, station 0
     consumer = soc.add_processor("audio")    # stereo task, station 1
 

@@ -11,6 +11,7 @@ from .accelerator_tile import AcceleratorTile
 from .cfifo import CFifo
 from .config_bus import ConfigBus
 from .gateway import EntryGateway, ExitGateway, GatewayError, StreamBinding
+from .harness import SimulationRun, simulate_system
 from .ni import HardwareFifoChannel
 from .processor import ProcessorTile
 from .program import BuiltProgram, ProgramError, StreamProgram
@@ -38,7 +39,9 @@ __all__ = [
     "Put",
     "RingError",
     "SharedChain",
+    "SimulationRun",
     "Sleep",
     "StreamBinding",
     "TaskSpec",
+    "simulate_system",
 ]

@@ -28,6 +28,7 @@ from collections import deque
 from typing import Any
 
 from ..sim import Signal, SimulationError, Simulator, Tracer
+from ..sim.trace import Kind
 from .ring import DualRing
 
 __all__ = ["CFifo"]
@@ -62,11 +63,18 @@ class CFifo:
         self._memory: deque[Any] = deque()  # consumer-side buffer contents
         self.words_put = 0
         self.words_got = 0
+        #: maximum number of claimed slots observed (buffer high-water mark);
+        #: claimed = capacity − producer space view, so it covers words both
+        #: in flight on the ring and resident in the consumer's memory.
+        self.high_water = 0
 
     # -- producer ---------------------------------------------------------
     def put(self, word: Any):
         """Generator: claim space, post data + write-pointer update."""
         yield self._space.acquire(1)
+        claimed = self.capacity - self._space.count
+        if claimed > self.high_water:
+            self.high_water = claimed
         # data word (posted write into the consumer's FIFO memory)
         accepted, _ = self.ring.post(
             self.producer, self.consumer, word,
@@ -81,7 +89,7 @@ class CFifo:
         yield accepted2
         self.words_put += 1
         if self.tracer:
-            self.tracer.log(self.sim.now, self.name, "put", word=word)
+            self.tracer.log(self.sim.now, self.name, Kind.PUT, word=word)
 
     @property
     def producer_space(self) -> int:
@@ -102,7 +110,7 @@ class CFifo:
             ring=DualRing.DATA, on_delivery=lambda _p: self._space.release(1),
         )
         if self.tracer:
-            self.tracer.log(self.sim.now, self.name, "get", word=word)
+            self.tracer.log(self.sim.now, self.name, Kind.GET, word=word)
         return word
 
     @property
@@ -118,4 +126,5 @@ class CFifo:
             "memory": len(self._memory),
             "put": self.words_put,
             "got": self.words_got,
+            "high_water": self.high_water,
         }

@@ -30,6 +30,7 @@ from fractions import Fraction
 from typing import Any
 
 from ..sim import FifoQueue, Signal, SimulationError, Simulator, Tracer
+from ..sim.trace import Kind
 from .accelerator_tile import AcceleratorTile
 from .cfifo import CFifo
 from .config_bus import ConfigBus
@@ -121,8 +122,13 @@ class ExitGateway:
             binding.blocks_done += 1
             binding.completions.append(self.sim.now)
             if self.tracer:
-                self.tracer.log(self.sim.now, self.name, "block_done",
-                                stream=binding.name)
+                admitted = binding.admissions[binding.blocks_done - 1]
+                self.tracer.log(self.sim.now, self.name, Kind.BLOCK_DONE,
+                                stream=binding.name,
+                                block=binding.blocks_done - 1,
+                                admitted_at=admitted,
+                                block_time=self.sim.now - admitted,
+                                samples=binding.expected_out)
             # the pipeline is empty: allow the next block in
             self.idle.release(1)
 
@@ -231,7 +237,7 @@ class EntryGateway:
             self._current = binding
         self.reconfig_cycles += self.sim.now - start
         if self.tracer:
-            self.tracer.log(self.sim.now, self.name, "reconfigured",
+            self.tracer.log(self.sim.now, self.name, Kind.RECONFIGURE,
                             stream=binding.name, cycles=self.sim.now - start)
 
     # -- main loop ------------------------------------------------------------
@@ -257,8 +263,9 @@ class EntryGateway:
         self.blocks_admitted += 1
         binding.admissions.append(self.sim.now)
         if self.tracer:
-            self.tracer.log(self.sim.now, self.name, "admit",
-                            stream=binding.name, eta=binding.eta)
+            self.tracer.log(self.sim.now, self.name, Kind.ADMIT,
+                            stream=binding.name, eta=binding.eta,
+                            block=len(binding.admissions) - 1)
         yield from self._reconfigure(binding)
         self.exit_gateway.begin_block(binding)
         copy_start = self.sim.now
@@ -269,5 +276,9 @@ class EntryGateway:
             yield from self.chain_input.send(word)
             binding.samples_in += 1
         self.copy_cycles += self.sim.now - copy_start
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, Kind.COPY,
+                            stream=binding.name, samples=binding.eta,
+                            cycles=self.sim.now - copy_start)
         # NOTE: the idle token is released by the exit gateway once the
         # block's last output sample has left the pipeline.

@@ -1,0 +1,184 @@
+"""Drive a :class:`~repro.core.params.GatewaySystem` on the cycle-level MPSoC.
+
+This is the glue between the analysis model and the architecture
+simulation: given the parameter object the temporal analysis reasons
+about, it instantiates a matching MPSoC — one accelerator tile per
+:class:`~repro.core.params.AcceleratorSpec` (firing duration ``ρ``), one
+backlogged producer/consumer pair per stream, the entry/exit-gateway pair
+in between — runs it for a number of blocks per stream, and hands back the
+observability layer: per-stream :class:`~repro.sim.metrics.StreamMetrics`,
+the gateway utilization breakdown, and the Eq. 2–5 bound-conformance
+report of :mod:`repro.core.conformance`.
+
+Streams are fed *backlogged* (every input sample available up front), the
+regime under which the τ̂/ε̂/γ/throughput comparisons are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..accel import MixerKernel
+from ..core.conformance import (
+    ConformanceReport,
+    calibrated_system,
+    check_conformance,
+)
+from ..core.params import GatewaySystem
+from ..sim.metrics import (
+    GatewayUtilization,
+    StreamMetrics,
+    gateway_utilization,
+    stream_metrics,
+)
+from ..sim import Signal
+from ..sim.trace import Kind
+from .scheduler import Get, Put, TaskSpec
+from .system import MPSoC, SharedChain
+
+__all__ = ["SimulationRun", "simulate_system"]
+
+
+@dataclass
+class SimulationRun:
+    """A completed gateway-system simulation plus its observability hooks."""
+
+    system: GatewaySystem
+    soc: MPSoC
+    chain: SharedChain
+    blocks: int
+    poll_interval: int
+    horizon: int = field(default=0)
+
+    def metrics(self) -> dict[str, StreamMetrics]:
+        """Per-stream observed metrics, in round-robin order."""
+        tracer = self.soc.tracer if self.soc.tracer.enabled else None
+        return {
+            name: stream_metrics(binding, tracer)
+            for name, binding in self.chain.bindings.items()
+        }
+
+    def utilization(self) -> GatewayUtilization:
+        """Entry-gateway cycle breakdown over the run."""
+        return gateway_utilization(self.chain.entry, self.horizon)
+
+    def conformance(self, calibrated: bool = True) -> ConformanceReport:
+        """Observed-vs-bound report (Eq. 2–5).
+
+        With ``calibrated=True`` (the default) the bounds are instantiated
+        with the architecture's measured per-sample costs, the regime in
+        which zero violations are expected; ``calibrated=False`` checks
+        against the bare model parameters, which the simulated overheads
+        legitimately exceed — useful for seeing how much calibration the
+        architecture needs.
+        """
+        model = calibrated_system(self.system) if calibrated else self.system
+        slack = self.poll_interval * len(self.system.streams)
+        return check_conformance(model, self.metrics().values(), wait_slack=slack)
+
+
+def simulate_system(
+    system: GatewaySystem,
+    blocks: int = 4,
+    trace: bool = True,
+    trace_mode: str = "full",
+    trace_capacity: int | None = None,
+    poll_interval: int = 1,
+    context_mode: str = "software",
+) -> SimulationRun:
+    """Simulate ``system`` with ``blocks`` backlogged blocks per stream.
+
+    Every stream must have a block size assigned (run Algorithm 1 first).
+    Returns once all streams' outputs have been drained or the conservative
+    horizon is reached.
+    """
+    system.require_block_sizes()
+    kernels = []
+    for spec in system.accelerators:
+        k = MixerKernel(0.0)
+        k.rho = spec.rho  # instance override of the class-level firing duration
+        kernels.append(k)
+
+    soc = MPSoC(
+        n_stations=4 + len(kernels),
+        trace=trace,
+        trace_kinds=Kind.METRICS if trace else None,
+        trace_mode=trace_mode,
+        trace_capacity=trace_capacity,
+    )
+    prod = soc.add_processor("prod")
+    cons = soc.add_processor("cons")
+    entry_station = 2
+    exit_station = entry_station + len(kernels) + 1
+
+    configs = []
+    totals: dict[str, int] = {}
+    for spec in system.streams:
+        eta = spec.block_size
+        total = eta * blocks
+        totals[spec.name] = total
+        in_fifo = prod.fifo_to(entry_station, capacity=total + 8,
+                               name=f"{spec.name}.in")
+        out_fifo = soc.software_fifo(exit_station, cons, capacity=total + 8,
+                                     name=f"{spec.name}.out")
+        configs.append({
+            "name": spec.name,
+            "eta": eta,
+            "in_fifo": in_fifo,
+            "out_fifo": out_fifo,
+            "states": [MixerKernel(0.0).get_state() for _ in kernels],
+            "reconfigure_cycles": spec.reconfigure,
+        })
+    chain = soc.shared_chain(
+        "sys", kernels, configs,
+        entry_copy=system.entry_copy, exit_copy=system.exit_copy,
+        ni_capacity=system.ni_capacity, poll_interval=poll_interval,
+        context_mode=context_mode,
+    )
+
+    drained = Signal(soc.sim, name="harness.drained")
+
+    def producer(fifo, count):
+        def gen():
+            for i in range(count):
+                yield Put(fifo, float(i))
+        return gen
+
+    def consumer(fifo, total_out):
+        def gen():
+            for _ in range(total_out):
+                yield Get(fifo)
+            drained.release(1)
+        return gen
+
+    for cfg in configs:
+        name, total = cfg["name"], totals[cfg["name"]]
+        out_per_block = chain.binding(name).expected_out
+        prod.add_task(TaskSpec(f"feed:{name}", producer(cfg["in_fifo"], total)))
+        cons.add_task(TaskSpec(f"drain:{name}",
+                               consumer(cfg["out_fifo"], out_per_block * blocks)))
+    prod.start()
+    cons.start()
+
+    # Conservative cap in case a configuration deadlocks; the normal exit is
+    # the drain of every stream's last output, so the measurement horizon is
+    # not inflated by post-completion polling.
+    max_eta = max(s.block_size for s in system.streams)
+    max_r = max(s.reconfigure for s in system.streams)
+    per_sample = system.entry_copy + sum(a.rho + 4 for a in system.accelerators) + 30
+    cap = ((max_r + max_eta * per_sample) * blocks
+           * (len(system.streams) + 2) + 10_000)
+    done = soc.sim.process(_wait_for(drained, len(configs)))
+    while not done.processed:
+        nxt = soc.sim.peek()
+        if nxt is None or nxt > cap:
+            break
+        soc.sim.step()
+    return SimulationRun(
+        system=system, soc=soc, chain=chain, blocks=blocks,
+        poll_interval=poll_interval, horizon=max(1, soc.sim.now),
+    )
+
+
+def _wait_for(signal: Signal, units: int):
+    yield signal.acquire(units)

@@ -34,7 +34,7 @@ Task factories receive a dict of their named ports (each a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..accel.base import StreamKernel

@@ -45,6 +45,22 @@ class SharedChain:
     def binding(self, name: str) -> StreamBinding:
         return self.bindings[name]
 
+    def stream_metrics(self, tracer: Tracer | None = None) -> dict:
+        """Per-stream :class:`~repro.sim.metrics.StreamMetrics`.
+
+        Pass the owning :class:`MPSoC`'s tracer to additionally derive
+        trace-based quantities (observed sample latency).
+        """
+        from ..sim.metrics import stream_metrics
+
+        return {name: stream_metrics(b, tracer) for name, b in self.bindings.items()}
+
+    def utilization_breakdown(self, horizon: int):
+        """Entry-gateway :class:`~repro.sim.metrics.GatewayUtilization`."""
+        from ..sim.metrics import gateway_utilization
+
+        return gateway_utilization(self.entry, horizon)
+
     def utilization(self, horizon: int) -> dict[str, float]:
         """Measured gateway utilization over ``horizon`` cycles.
 
@@ -78,9 +94,13 @@ class MPSoC:
         hop_latency: int = 1,
         config_bus_word_time: int = 1,
         trace: bool = False,
+        trace_kinds: "set[str] | frozenset[str] | None" = None,
+        trace_mode: str = "full",
+        trace_capacity: int | None = None,
     ) -> None:
         self.sim = Simulator()
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace, kinds=trace_kinds, mode=trace_mode,
+                             capacity=trace_capacity)
         self.ring = DualRing(self.sim, n_stations, hop_latency=hop_latency,
                              tracer=self.tracer if trace else None)
         self.config_bus = ConfigBus(self.sim, word_time=config_bus_word_time,

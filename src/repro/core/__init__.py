@@ -25,6 +25,16 @@ from .blocksize_ilp import (
     sharing_load,
 )
 from .config_io import dump_system, load_system, system_from_dict, system_to_dict
+from .conformance import (
+    ConformanceReport,
+    StreamBounds,
+    StreamConformance,
+    Violation,
+    bounds_for,
+    calibrated_system,
+    check_conformance,
+    check_stream,
+)
 from .design_flow import DesignReport, run_design_flow
 from .csdf_builder import StreamModelInfo, build_stream_csdf, measure_block_time
 from .parametric import Affine, ParametricSchedule, parametric_schedule
@@ -52,21 +62,29 @@ __all__ = [
     "Affine",
     "BlockSizeResult",
     "BufferOptimalResult",
+    "ConformanceReport",
     "DesignReport",
     "GatewaySystem",
     "ParameterError",
     "ParametricSchedule",
+    "StreamBounds",
+    "StreamConformance",
     "StreamModelInfo",
     "StreamSpec",
     "StreamVerification",
     "UtilizationReport",
     "VerificationReport",
+    "Violation",
     "accelerator_utilization_gain",
     "analyze_utilization",
     "block_round_length",
+    "bounds_for",
     "build_block_size_model",
     "build_stream_csdf",
     "build_stream_sdf",
+    "calibrated_system",
+    "check_conformance",
+    "check_stream",
     "compute_block_sizes",
     "dump_system",
     "load_system",

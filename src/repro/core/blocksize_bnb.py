@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from fractions import Fraction
 
 from ..dataflow import GraphError, min_capacities
 from .params import GatewaySystem, ParameterError

@@ -1,0 +1,344 @@
+"""Bound-conformance checking: observed behaviour vs. the Eq. 2–5 bounds.
+
+The paper's central claim is that the gateway architecture is a *temporal
+refinement* of its dataflow model: every observed block must stay within
+the closed-form bounds of :mod:`repro.core.timing`.  This module makes the
+claim executable and observable — it compares the per-stream metrics
+measured by :mod:`repro.sim.metrics` against ``τ̂`` (Eq. 2), ``ε̂`` (Eq. 3),
+``γ`` (Eq. 4) and the ``η/γ`` throughput guarantee behind Eq. 5, reporting
+the margin on every quantity and flagging any violation.  A violation means
+the refinement is broken — a bug in either the model or the architecture —
+so reports render it loudly and the CLI exits non-zero.
+
+The cycle-level architecture has measured per-sample costs above the bare
+parameters (ring injection, NI handshakes, C-FIFO pointer updates);
+:func:`calibrated_system` instantiates the analysis with those measured
+costs, exactly as the paper instantiates its analysis with the prototype's
+measured ``ε = 15``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Any, Iterable
+
+from ..sim.metrics import StreamMetrics
+from .params import GatewaySystem, ParameterError
+from .timing import (
+    epsilon_hat,
+    gamma,
+    guaranteed_throughput,
+    sample_latency_bound,
+    tau_hat,
+)
+
+__all__ = [
+    "StreamBounds",
+    "Violation",
+    "StreamConformance",
+    "ConformanceReport",
+    "bounds_for",
+    "check_stream",
+    "check_conformance",
+    "calibrated_system",
+]
+
+#: Calibration offsets measured on the cycle-level architecture model.
+#:
+#: Entry copy: one DMA ring-inject cycle, plus one worst-case cycle of
+#: data-ring link-grant contention per sample — the C-FIFO read-pointer
+#: flit that the entry gateway posts back to the producer wraps around the
+#: ring through the accelerator→exit links and can delay the next data
+#: flit's grant by one cycle (observed at ``ε = 8``; at ``ε = 15`` the
+#: pointer flit drains inside the copy interval and the contention
+#: vanishes, matching the ``ε + 1`` cost that
+#: tests/integration/test_bounds_vs_sim.py calibrates against).
+#: Accelerator: NI receive + send handshakes.  Exit copy: C-FIFO data +
+#: write-pointer posted writes + one contention cycle.
+ENTRY_OVERHEAD_CYCLES = 2
+NI_OVERHEAD_CYCLES = 2
+CFIFO_OVERHEAD_CYCLES = 3
+
+#: Backwards-compatible alias (the bare inject cost without the
+#: worst-case contention cycle).
+RING_INJECT_CYCLES = 1
+
+
+def calibrated_system(
+    system: GatewaySystem,
+    entry_overhead: int = ENTRY_OVERHEAD_CYCLES,
+    ni_overhead: int = NI_OVERHEAD_CYCLES,
+    cfifo_overhead: int = CFIFO_OVERHEAD_CYCLES,
+) -> GatewaySystem:
+    """The analysis model instantiated with the architecture's measured costs.
+
+    ``ε_cal = ε + entry_overhead``, ``ρ_cal = ρ + ni_overhead`` per
+    accelerator, ``δ_cal = δ + cfifo_overhead``.  The defaults are
+    conservative: they upper-bound the per-sample costs observed on the
+    cycle-level model across entry-copy, accelerator and block-size sweeps,
+    so conformance checks against the calibrated bounds hold with margin —
+    exactly as the paper instantiates its analysis with the prototype's
+    measured ``ε = 15``.
+    """
+    return replace(
+        system,
+        accelerators=tuple(
+            replace(a, rho=a.rho + ni_overhead) for a in system.accelerators
+        ),
+        entry_copy=system.entry_copy + entry_overhead,
+        exit_copy=system.exit_copy + cfifo_overhead,
+    )
+
+
+@dataclass(frozen=True)
+class StreamBounds:
+    """The Eq. 2–5 bounds for one stream, in cycles (rates in samples/cycle)."""
+
+    tau_hat: int
+    epsilon_hat: int
+    gamma: int
+    guaranteed_throughput: Fraction
+    sample_latency: Fraction
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tau_hat": self.tau_hat,
+            "epsilon_hat": self.epsilon_hat,
+            "gamma": self.gamma,
+            "guaranteed_throughput": float(self.guaranteed_throughput),
+            "sample_latency": float(self.sample_latency),
+        }
+
+
+def bounds_for(system: GatewaySystem, stream_name: str) -> StreamBounds:
+    """All closed-form bounds for ``stream_name`` (block sizes must be set)."""
+    return StreamBounds(
+        tau_hat=tau_hat(system, stream_name),
+        epsilon_hat=epsilon_hat(system, stream_name),
+        gamma=gamma(system, stream_name),
+        guaranteed_throughput=guaranteed_throughput(system, stream_name),
+        sample_latency=sample_latency_bound(system, stream_name),
+    )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed quantity exceeding its bound — a refinement bug."""
+
+    stream: str
+    quantity: str  # "block_time" | "wait" | "turnaround" | "throughput"
+    observed: int | float | Fraction
+    bound: int | float | Fraction
+    block_index: int | None = None
+
+    def __str__(self) -> str:
+        where = f" (block {self.block_index})" if self.block_index is not None else ""
+        if self.quantity == "throughput":
+            return (
+                f"VIOLATION {self.stream}: achieved throughput "
+                f"{float(self.observed):.6f} < guaranteed {float(self.bound):.6f}"
+            )
+        return (
+            f"VIOLATION {self.stream}: {self.quantity}{where} = "
+            f"{self.observed} exceeds bound {self.bound}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stream": self.stream,
+            "quantity": self.quantity,
+            "observed": float(self.observed),
+            "bound": float(self.bound),
+            "block_index": self.block_index,
+        }
+
+
+@dataclass(frozen=True)
+class StreamConformance:
+    """Observed-vs-bound comparison for one stream."""
+
+    stream: str
+    eta: int
+    blocks_observed: int
+    bounds: StreamBounds
+    worst_block_time: int | None
+    worst_wait: int | None
+    worst_turnaround: int | None
+    achieved_throughput: Fraction | None
+    violations: tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    # -- margins (bound − worst observed; None when nothing was observed) --
+    @property
+    def block_time_margin(self) -> int | None:
+        if self.worst_block_time is None:
+            return None
+        return self.bounds.tau_hat - self.worst_block_time
+
+    @property
+    def wait_margin(self) -> int | None:
+        if self.worst_wait is None:
+            return None
+        return self.bounds.epsilon_hat - self.worst_wait
+
+    @property
+    def turnaround_margin(self) -> int | None:
+        if self.worst_turnaround is None:
+            return None
+        return self.bounds.gamma - self.worst_turnaround
+
+    @property
+    def throughput_margin(self) -> Fraction | None:
+        if self.achieved_throughput is None:
+            return None
+        return self.achieved_throughput - self.bounds.guaranteed_throughput
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stream": self.stream,
+            "eta": self.eta,
+            "blocks_observed": self.blocks_observed,
+            "ok": self.ok,
+            "bounds": self.bounds.to_dict(),
+            "observed": {
+                "worst_block_time": self.worst_block_time,
+                "worst_wait": self.worst_wait,
+                "worst_turnaround": self.worst_turnaround,
+                "achieved_throughput": (
+                    float(self.achieved_throughput)
+                    if self.achieved_throughput is not None
+                    else None
+                ),
+            },
+            "margins": {
+                "block_time": self.block_time_margin,
+                "wait": self.wait_margin,
+                "turnaround": self.turnaround_margin,
+                "throughput": (
+                    float(self.throughput_margin)
+                    if self.throughput_margin is not None
+                    else None
+                ),
+            },
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Conformance results for every checked stream."""
+
+    streams: tuple[StreamConformance, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.streams)
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        return tuple(v for s in self.streams for v in s.violations)
+
+    def summary(self) -> str:
+        """Fixed-width margins table; violations appended loudly."""
+        header = (
+            f"{'stream':<12} {'blocks':>6} {'τ obs/bound':>14} {'ε obs/bound':>14} "
+            f"{'γ obs/bound':>14} {'thru obs≥guar':>16} {'status':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.streams:
+            def pair(obs, bound):
+                return f"{obs if obs is not None else '-'}/{bound}"
+
+            thru = (
+                f"{float(s.achieved_throughput):.5f}≥{float(s.bounds.guaranteed_throughput):.5f}"
+                if s.achieved_throughput is not None
+                else "-"
+            )
+            lines.append(
+                f"{s.stream:<12} {s.blocks_observed:>6} "
+                f"{pair(s.worst_block_time, s.bounds.tau_hat):>14} "
+                f"{pair(s.worst_wait, s.bounds.epsilon_hat):>14} "
+                f"{pair(s.worst_turnaround, s.bounds.gamma):>14} "
+                f"{thru:>16} {'OK' if s.ok else 'VIOLATED':>8}"
+            )
+        if self.ok:
+            lines.append("all observed blocks within the Eq. 2–5 bounds "
+                         "(temporal refinement holds)")
+        else:
+            lines.append("")
+            lines.append(f"*** {len(self.violations)} BOUND VIOLATION(S) — "
+                         "the temporal-refinement claim is broken ***")
+            for v in self.violations:
+                lines.append(f"  {v}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "streams": [s.to_dict() for s in self.streams],
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def check_stream(
+    system: GatewaySystem, metrics: StreamMetrics, wait_slack: int = 0
+) -> StreamConformance:
+    """Compare one stream's observations against its bounds.
+
+    ``system`` must contain a stream of the same name with a block size;
+    when the simulated block size differs from the model's, that is a
+    configuration error, not a refinement violation, so it raises.
+
+    ``wait_slack`` is the scheduling-quantum allowance on the Eq. 3 wait
+    check only: the entry gateway discovers admissibility by polling, so an
+    observed completion-to-admission gap can exceed ``ε̂`` by up to one poll
+    interval per admission in the window (callers typically pass
+    ``poll_interval × |S|``).  The τ̂/γ/throughput checks take no slack.
+    """
+    spec = system.stream(metrics.name)
+    if spec.block_size != metrics.eta:
+        raise ParameterError(
+            f"stream {metrics.name!r}: simulated η={metrics.eta} but the "
+            f"model says η={spec.block_size}"
+        )
+    b = bounds_for(system, metrics.name)
+    violations: list[Violation] = []
+    for i, bt in enumerate(metrics.block_times):
+        if bt > b.tau_hat:
+            violations.append(Violation(metrics.name, "block_time", bt, b.tau_hat, i))
+    wait_bound = b.epsilon_hat + wait_slack
+    for i, w in enumerate(metrics.waits):
+        if w > wait_bound:
+            violations.append(Violation(metrics.name, "wait", w, wait_bound, i + 1))
+    for i, t in enumerate(metrics.turnarounds):
+        if t > b.gamma:
+            violations.append(Violation(metrics.name, "turnaround", t, b.gamma, i + 1))
+    if metrics.throughput is not None and metrics.throughput < b.guaranteed_throughput:
+        violations.append(
+            Violation(metrics.name, "throughput", metrics.throughput,
+                      b.guaranteed_throughput)
+        )
+    return StreamConformance(
+        stream=metrics.name,
+        eta=metrics.eta,
+        blocks_observed=len(metrics.block_times),
+        bounds=b,
+        worst_block_time=metrics.worst_block_time,
+        worst_wait=metrics.worst_wait,
+        worst_turnaround=metrics.worst_turnaround,
+        achieved_throughput=metrics.throughput,
+        violations=tuple(violations),
+    )
+
+
+def check_conformance(
+    system: GatewaySystem, metrics: Iterable[StreamMetrics], wait_slack: int = 0
+) -> ConformanceReport:
+    """Check every stream's metrics against ``system``'s bounds."""
+    return ConformanceReport(
+        streams=tuple(check_stream(system, m, wait_slack=wait_slack) for m in metrics)
+    )

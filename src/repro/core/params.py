@@ -17,7 +17,7 @@ for the evaluation scripts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from fractions import Fraction
 
 __all__ = ["StreamSpec", "AcceleratorSpec", "GatewaySystem", "ParameterError"]

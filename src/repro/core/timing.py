@@ -93,7 +93,7 @@ def throughput_satisfied(system: GatewaySystem, stream_name: str | None = None) 
 
     Checks one stream, or all streams when ``stream_name`` is None.
     """
-    names = [stream_name] if stream_name else [s.name for s in system.streams]
+    names = [stream_name] if stream_name is not None else [s.name for s in system.streams]
     return all(
         guaranteed_throughput(system, n) >= system.stream(n).throughput for n in names
     )

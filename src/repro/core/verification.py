@@ -24,7 +24,7 @@ from ..dataflow import execute, refines_times
 from .csdf_builder import build_stream_csdf, measure_block_time
 from .params import GatewaySystem
 from .sdf_abstraction import build_stream_sdf, verify_with_sdf_model
-from .timing import gamma, guaranteed_throughput, tau_hat, throughput_satisfied
+from .timing import guaranteed_throughput, tau_hat, throughput_satisfied
 
 __all__ = ["StreamVerification", "VerificationReport", "verify_system"]
 

@@ -22,9 +22,9 @@ parametric quanta notation used in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 __all__ = ["Actor", "Edge", "CSDFGraph", "SDFGraph", "cyclic", "as_sdf", "GraphError"]
 

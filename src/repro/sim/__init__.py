@@ -10,8 +10,16 @@ from .kernel import (
     Simulator,
     Timeout,
 )
+from .metrics import (
+    GatewayUtilization,
+    StreamMetrics,
+    gateway_utilization,
+    metrics_table,
+    observed_sample_latency,
+    stream_metrics,
+)
 from .queues import FifoQueue, Signal
-from .trace import GanttRow, IntervalAccumulator, TraceRecord, Tracer
+from .trace import GanttRow, IntervalAccumulator, Kind, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -19,13 +27,20 @@ __all__ = [
     "Event",
     "FifoQueue",
     "GanttRow",
+    "GatewayUtilization",
     "Interrupt",
     "IntervalAccumulator",
+    "Kind",
     "Process",
     "Signal",
     "SimulationError",
     "Simulator",
+    "StreamMetrics",
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "gateway_utilization",
+    "metrics_table",
+    "observed_sample_latency",
+    "stream_metrics",
 ]

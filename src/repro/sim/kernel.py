@@ -159,7 +159,10 @@ class AllOf(Event):
         self._events = list(events)
         self._remaining = 0
         for ev in self._events:
-            if not ev.processed:
+            if ev.processed:
+                if not ev.ok and not self._triggered:
+                    self.fail(ev.value)
+            else:
                 self._remaining += 1
                 ev.add_callback(self._on_child)
         if self._remaining == 0 and not self._triggered:
@@ -205,7 +208,7 @@ class Process(Event):
     generator's return value.
     """
 
-    __slots__ = ("name", "_gen", "_waiting_on")
+    __slots__ = ("name", "_gen", "_waiting_on", "_stale")
 
     def __init__(
         self,
@@ -219,6 +222,9 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
         self._waiting_on: Event | None = None
+        # Events detached by interrupt() whose wakeup must be swallowed even
+        # if they fire before the Interrupt is delivered.
+        self._stale: set[Event] = set()
         # Kick off at the current instant.
         init = Event(sim)
         init.succeed()
@@ -235,6 +241,11 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         waited = self._waiting_on
         self._waiting_on = None
+        if waited is not None and not waited.processed:
+            # The detached event may still fire before the Interrupt below is
+            # delivered (both can land at the current instant); mark it stale
+            # so _resume swallows it instead of double-resuming the generator.
+            self._stale.add(waited)
         # Deliver asynchronously so the interrupter keeps running first.
         ev = Event(self.sim)
         ev.succeed()
@@ -255,6 +266,11 @@ class Process(Event):
         self._wait_on(target)
 
     def _resume(self, event: Event) -> None:
+        if event in self._stale:
+            # Detached by interrupt(); its wakeup must never reach the
+            # generator, no matter when it arrives relative to the Interrupt.
+            self._stale.discard(event)
+            return
         if not self.is_alive:
             return
         if self._waiting_on is not None and event is not self._waiting_on:

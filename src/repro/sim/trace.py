@@ -3,16 +3,47 @@
 The tracer records timestamped records of simulator activity (sample
 transfers, block admissions, reconfigurations, stalls).  Records double as
 the measurement substrate for the evaluation: utilization percentages,
-observed throughput and Gantt-chart data are all computed from traces.
+observed throughput, bound-conformance checks and Gantt-chart data are all
+computed from traces.
+
+:class:`Kind` names the typed record vocabulary emitted by the architecture
+components; :mod:`repro.sim.metrics` consumes it.  A tracer can run in three
+storage modes:
+
+* ``"full"`` — every record kept (the default; what the unit tests inspect),
+* ``"ring"`` — only the newest ``capacity`` records kept (bounded memory for
+  long soak runs; aggregate counters still see every record),
+* ``"aggregate"`` — no records stored at all, only per-(source, kind)
+  counters (production-style always-on observability).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
-__all__ = ["TraceRecord", "Tracer", "IntervalAccumulator", "GanttRow"]
+__all__ = ["Kind", "TraceRecord", "Tracer", "IntervalAccumulator", "GanttRow"]
+
+
+class Kind:
+    """Canonical record kinds emitted by the architecture components."""
+
+    ADMIT = "admit"                # entry gateway admits a block
+    RECONFIGURE = "reconfigured"   # context switch finished
+    COPY = "copy"                  # entry gateway finished DMA-copying a block
+    BLOCK_DONE = "block_done"      # exit gateway drained a block's last sample
+    PUT = "put"                    # C-FIFO producer side
+    GET = "get"                    # C-FIFO consumer side
+    FIRE = "fire"                  # accelerator kernel firing
+    SEND = "send"                  # NI hardware-FIFO send
+    RECV = "recv"                  # NI hardware-FIFO receive
+    TRANSFER = "transfer"          # configuration-bus word transfer
+    DELIVER = "deliver"            # ring flit delivery
+    TASK_DONE = "task_done"        # processor task completion
+
+    #: kinds sufficient for metrics/conformance work (cheap to keep)
+    METRICS = frozenset({ADMIT, RECONFIGURE, COPY, BLOCK_DONE, PUT, GET})
 
 
 @dataclass(frozen=True)
@@ -26,12 +57,53 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` objects, optionally filtered by kind."""
+    """A structured, queryable store of :class:`TraceRecord` objects.
 
-    def __init__(self, enabled: bool = True, kinds: Iterable[str] | None = None) -> None:
+    Parameters
+    ----------
+    enabled:
+        Master switch; a disabled tracer drops everything.
+    kinds:
+        Optional allow-list of record kinds (others are dropped entirely).
+    mode:
+        Storage mode: ``"full"``, ``"ring"`` or ``"aggregate"`` (see module
+        docstring).  ``"ring"`` requires ``capacity``.
+    capacity:
+        Ring size for ``mode="ring"``.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: Iterable[str] | None = None,
+        mode: str = "full",
+        capacity: int | None = None,
+    ) -> None:
+        if mode not in ("full", "ring", "aggregate"):
+            raise ValueError(f"unknown tracer mode {mode!r}")
+        if mode == "ring":
+            if capacity is None or capacity < 1:
+                raise ValueError("ring mode needs a positive capacity")
+        elif capacity is not None:
+            raise ValueError(f"capacity is only meaningful in ring mode, not {mode!r}")
         self.enabled = enabled
         self.kinds = set(kinds) if kinds is not None else None
-        self.records: list[TraceRecord] = []
+        self.mode = mode
+        self.capacity = capacity
+        self._records: deque[TraceRecord] | list[TraceRecord]
+        self._records = deque(maxlen=capacity) if mode == "ring" else []
+        self.total_logged = 0          # every accepted record, ever
+        self._counts: Counter[tuple[str, str]] = Counter()
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Stored records in time order (empty in aggregate mode)."""
+        return list(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Accepted records no longer stored (ring eviction / aggregate mode)."""
+        return self.total_logged - len(self._records)
 
     def log(self, time: int, source: str, kind: str, **data: Any) -> None:
         """Record an observation (no-op when disabled or filtered out)."""
@@ -39,21 +111,67 @@ class Tracer:
             return
         if self.kinds is not None and kind not in self.kinds:
             return
-        self.records.append(TraceRecord(time, source, kind, data))
+        self.total_logged += 1
+        self._counts[(source, kind)] += 1
+        if self.mode != "aggregate":
+            self._records.append(TraceRecord(time, source, kind, data))
+
+    # -- queries ---------------------------------------------------------
+    def query(
+        self,
+        kind: str | None = None,
+        source: str | None = None,
+        since: int | None = None,
+        until: int | None = None,
+        **data_filters: Any,
+    ) -> Iterator[TraceRecord]:
+        """Stored records matching every given criterion, in time order.
+
+        ``data_filters`` match against the record's ``data`` payload, e.g.
+        ``tracer.query(kind=Kind.ADMIT, stream="ch1.s1")``.
+        """
+        for r in self._records:
+            if kind is not None and r.kind != kind:
+                continue
+            if source is not None and r.source != source:
+                continue
+            if since is not None and r.time < since:
+                continue
+            if until is not None and r.time > until:
+                continue
+            if any(r.data.get(k) != v for k, v in data_filters.items()):
+                continue
+            yield r
 
     def by_kind(self, kind: str) -> list[TraceRecord]:
-        """All records of one kind, in time order."""
-        return [r for r in self.records if r.kind == kind]
+        """All stored records of one kind, in time order."""
+        return list(self.query(kind=kind))
 
     def by_source(self, source: str) -> list[TraceRecord]:
-        """All records from one component, in time order."""
-        return [r for r in self.records if r.source == source]
+        """All stored records from one component, in time order."""
+        return list(self.query(source=source))
 
-    def count(self, kind: str) -> int:
-        return sum(1 for r in self.records if r.kind == kind)
+    def last(self, kind: str, **data_filters: Any) -> TraceRecord | None:
+        """Newest stored record of ``kind`` matching the filters, if any."""
+        found = None
+        for r in self.query(kind=kind, **data_filters):
+            found = r
+        return found
+
+    def count(self, kind: str, source: str | None = None) -> int:
+        """Lifetime count of accepted records (survives ring eviction)."""
+        if source is not None:
+            return self._counts[(source, kind)]
+        return sum(n for (_s, k), n in self._counts.items() if k == kind)
+
+    def counts(self) -> dict[tuple[str, str], int]:
+        """Lifetime (source, kind) → count aggregation."""
+        return dict(self._counts)
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self._counts.clear()
+        self.total_logged = 0
 
 
 class IntervalAccumulator:

@@ -114,3 +114,66 @@ def test_cli_analyze_bnb_backend(tmp_path, capsys):
     code, out = run_cli(["analyze", str(cfg), "--backend", "bnb"], capsys)
     assert code == 0
     assert "PASS" in out
+
+
+SMALL_CFG = (
+    '{"entry_copy": 6, "exit_copy": 1,'
+    ' "accelerators": [{"name": "a", "rho": 1}],'
+    ' "streams": ['
+    '{"name": "s0", "throughput": [1, 100000], "reconfigure": 40, "block_size": 6},'
+    '{"name": "s1", "throughput": [1, 200000], "reconfigure": 40, "block_size": 3}]}'
+)
+
+
+def test_cli_metrics_table(tmp_path, capsys):
+    cfg = tmp_path / "small.json"
+    cfg.write_text(SMALL_CFG)
+    code, out = run_cli(["metrics", str(cfg), "--blocks", "3"], capsys)
+    assert code == 0
+    assert "s0" in out and "s1" in out
+    assert "entry gateway: copy" in out
+
+
+def test_cli_metrics_json(tmp_path, capsys):
+    import json
+
+    cfg = tmp_path / "small.json"
+    cfg.write_text(SMALL_CFG)
+    code, out = run_cli(["metrics", str(cfg), "--blocks", "2", "--json"], capsys)
+    assert code == 0
+    blob = json.loads(out)
+    assert {s["name"] for s in blob["streams"]} == {"s0", "s1"}
+    assert all(s["blocks_done"] == 2 for s in blob["streams"])
+    assert 0.0 < blob["gateway"]["copy"] < 1.0
+
+
+def test_cli_conformance_ok(tmp_path, capsys):
+    cfg = tmp_path / "small.json"
+    cfg.write_text(SMALL_CFG)
+    code, out = run_cli(["conformance", str(cfg), "--blocks", "3"], capsys)
+    assert code == 0
+    assert "refinement holds" in out
+    assert "VIOLATION" not in out
+
+
+def test_cli_conformance_json(tmp_path, capsys):
+    import json
+
+    cfg = tmp_path / "small.json"
+    cfg.write_text(SMALL_CFG)
+    code, out = run_cli(["conformance", str(cfg), "--json"], capsys)
+    assert code == 0
+    blob = json.loads(out)
+    assert blob["ok"] is True
+    assert blob["violations"] == []
+
+
+def test_cli_conformance_assigns_block_sizes_when_missing(tmp_path, capsys):
+    cfg = tmp_path / "nosizes.json"
+    cfg.write_text(
+        '{"entry_copy": 5, "accelerators": [{"name": "a", "rho": 1}],'
+        ' "streams": [{"name": "s", "throughput": [1, 100], "reconfigure": 50}]}'
+    )
+    code, out = run_cli(["conformance", str(cfg), "--blocks", "2"], capsys)
+    assert code == 0
+    assert "refinement holds" in out

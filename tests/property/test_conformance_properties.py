@@ -1,0 +1,89 @@
+"""Property-based test of the temporal-refinement claim (Eq. 2–5).
+
+For randomised small gateway systems, the cycle-level architecture model
+must conform to the calibrated analysis bounds on every observed block:
+
+* block processing time never exceeds τ̂ (Eq. 2),
+* round-robin wait never exceeds ε̂ plus the polling quantum (Eq. 3),
+* block turnaround never exceeds γ (Eq. 4),
+* achieved throughput is at least the η/γ guarantee behind Eq. 5.
+
+This is the randomised counterpart of the fixed sweep in
+benchmarks/bench_conformance_margins.py and of the calibration study in
+tests/integration/test_bounds_vs_sim.py.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import simulate_system
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    calibrated_system,
+    gamma,
+    guaranteed_throughput,
+)
+
+SLOW = Fraction(1, 10**9)  # requirements far below capacity
+
+
+@st.composite
+def systems(draw):
+    n_streams = draw(st.integers(min_value=1, max_value=2))
+    n_accels = draw(st.integers(min_value=1, max_value=2))
+    eps = draw(st.integers(min_value=1, max_value=10))
+    delta = draw(st.integers(min_value=1, max_value=3))
+    rhos = [draw(st.integers(min_value=0, max_value=4)) for _ in range(n_accels)]
+    R = draw(st.sampled_from([0, 10, 120]))
+    etas = [draw(st.integers(min_value=2, max_value=10)) for _ in range(n_streams)]
+    return GatewaySystem(
+        accelerators=tuple(AcceleratorSpec(f"a{k}", r) for k, r in enumerate(rhos)),
+        streams=tuple(
+            StreamSpec(f"s{i}", SLOW, R, block_size=e) for i, e in enumerate(etas)
+        ),
+        entry_copy=eps,
+        exit_copy=delta,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(system=systems(), blocks=st.integers(min_value=2, max_value=3))
+def test_simulated_blocks_conform_to_calibrated_bounds(system, blocks):
+    run = simulate_system(system, blocks=blocks)
+    report = run.conformance()
+    assert report.ok, "\n".join(str(v) for v in report.violations)
+
+    cal = calibrated_system(system)
+    for name, m in run.metrics().items():
+        g = gamma(cal, name)
+        # Eq. 4: every completion-to-completion gap within one rotation
+        for turnaround in m.turnarounds:
+            assert turnaround <= g
+        # Eq. 5: achieved throughput at least the η/γ guarantee
+        if m.throughput is not None:
+            assert m.throughput >= guaranteed_throughput(cal, name)
+        assert m.blocks_done == blocks
+
+
+@settings(max_examples=10, deadline=None)
+@given(system=systems())
+def test_metrics_structural_invariants(system):
+    """Sample conservation and time-ordering of the derived metrics."""
+    run = simulate_system(system, blocks=2)
+    for spec, (name, m) in zip(system.streams, run.metrics().items()):
+        assert name == spec.name and m.eta == spec.block_size
+        assert m.samples_in == m.eta * m.blocks_done
+        assert m.samples_out == m.samples_in  # unit-rate kernels
+        assert all(t > 0 for t in m.block_times)
+        assert all(w >= 0 for w in m.waits)
+        # a turnaround covers the next block's wait plus its processing
+        for w, t, g in zip(m.waits, m.block_times[1:], m.turnarounds):
+            assert g == w + t
+        assert m.first_output_at is not None
+        assert m.first_output_at <= m.last_output_at
+        if m.in_high_water is not None:
+            assert m.in_high_water >= m.eta  # a whole block passed through

@@ -1,0 +1,159 @@
+"""Unit tests for bound-conformance checking (repro.core.conformance)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    ParameterError,
+    StreamSpec,
+    bounds_for,
+    calibrated_system,
+    check_conformance,
+    check_stream,
+    epsilon_hat,
+    gamma,
+    guaranteed_throughput,
+    tau_hat,
+)
+from repro.sim import StreamMetrics
+
+
+def make_system(etas=(4, 8), eps=5, delta=1, rho=(1,), R=50, mu=Fraction(1, 10**6)):
+    return GatewaySystem(
+        accelerators=tuple(AcceleratorSpec(f"a{i}", r) for i, r in enumerate(rho)),
+        streams=tuple(
+            StreamSpec(f"s{i}", mu, R, block_size=e) for i, e in enumerate(etas)
+        ),
+        entry_copy=eps,
+        exit_copy=delta,
+    )
+
+
+def fake_metrics(name="s0", eta=4, block_times=(), waits=(), turnarounds=(),
+                 throughput=None):
+    n = len(block_times)
+    return StreamMetrics(
+        name=name, eta=eta, blocks_done=n,
+        samples_in=eta * n, samples_out=eta * n,
+        block_times=tuple(block_times), waits=tuple(waits),
+        turnarounds=tuple(turnarounds), throughput=throughput,
+        first_output_at=None, last_output_at=None,
+        in_high_water=None, out_high_water=None,
+    )
+
+
+def test_bounds_for_matches_timing_closures():
+    sys_ = make_system()
+    b = bounds_for(sys_, "s0")
+    assert b.tau_hat == tau_hat(sys_, "s0")
+    assert b.epsilon_hat == epsilon_hat(sys_, "s0")
+    assert b.gamma == gamma(sys_, "s0")
+    assert b.guaranteed_throughput == guaranteed_throughput(sys_, "s0")
+    assert b.gamma == b.tau_hat + b.epsilon_hat  # Eq. 4 identity
+
+
+def test_calibrated_system_offsets():
+    sys_ = make_system(eps=5, delta=1, rho=(2, 3))
+    cal = calibrated_system(sys_, entry_overhead=2, ni_overhead=1, cfifo_overhead=4)
+    assert cal.entry_copy == 7
+    assert cal.exit_copy == 5
+    assert tuple(a.rho for a in cal.accelerators) == (3, 4)
+    # streams untouched
+    assert cal.streams == sys_.streams
+
+
+def test_conforming_metrics_report_ok_with_margins():
+    sys_ = make_system()
+    b = bounds_for(sys_, "s0")
+    m = fake_metrics(
+        block_times=(b.tau_hat - 10, b.tau_hat - 3),
+        waits=(b.epsilon_hat,),
+        turnarounds=(b.gamma - 7,),
+        throughput=b.guaranteed_throughput + Fraction(1, 1000),
+    )
+    sc = check_stream(sys_, m)
+    assert sc.ok and sc.violations == ()
+    assert sc.block_time_margin == 3
+    assert sc.wait_margin == 0
+    assert sc.turnaround_margin == 7
+    assert sc.throughput_margin == Fraction(1, 1000)
+
+
+def test_block_time_violation_detected():
+    sys_ = make_system()
+    b = bounds_for(sys_, "s0")
+    m = fake_metrics(block_times=(b.tau_hat - 1, b.tau_hat + 5))
+    sc = check_stream(sys_, m)
+    assert not sc.ok
+    [v] = sc.violations
+    assert v.quantity == "block_time"
+    assert v.observed == b.tau_hat + 5
+    assert v.bound == b.tau_hat
+    assert v.block_index == 1
+    assert "VIOLATION" in str(v)
+
+
+def test_wait_slack_applies_to_wait_check_only():
+    sys_ = make_system()
+    b = bounds_for(sys_, "s0")
+    m = fake_metrics(
+        waits=(b.epsilon_hat + 2,),
+        block_times=(b.tau_hat + 2,),
+    )
+    strict = check_stream(sys_, m)
+    assert {v.quantity for v in strict.violations} == {"wait", "block_time"}
+    slacked = check_stream(sys_, m, wait_slack=2)
+    # the wait violation is forgiven, the block-time one is not
+    assert {v.quantity for v in slacked.violations} == {"block_time"}
+
+
+def test_throughput_shortfall_is_a_violation():
+    sys_ = make_system()
+    b = bounds_for(sys_, "s0")
+    m = fake_metrics(throughput=b.guaranteed_throughput / 2)
+    sc = check_stream(sys_, m)
+    assert [v.quantity for v in sc.violations] == ["throughput"]
+
+
+def test_block_size_mismatch_is_a_configuration_error():
+    sys_ = make_system(etas=(4,))
+    with pytest.raises(ParameterError):
+        check_stream(sys_, fake_metrics(eta=5))
+
+
+def test_unknown_stream_raises():
+    sys_ = make_system()
+    with pytest.raises(ParameterError):
+        check_stream(sys_, fake_metrics(name="ghost"))
+
+
+def test_report_aggregates_streams_and_renders_violations_loudly():
+    sys_ = make_system()
+    b0 = bounds_for(sys_, "s0")
+    good = fake_metrics(name="s0", eta=4, block_times=(b0.tau_hat,))
+    b1 = bounds_for(sys_, "s1")
+    bad = fake_metrics(name="s1", eta=8, block_times=(b1.tau_hat + 1,))
+    report = check_conformance(sys_, [good, bad])
+    assert not report.ok
+    assert len(report.streams) == 2
+    assert len(report.violations) == 1
+    text = report.summary()
+    assert "VIOLATION" in text
+    assert "refinement" in text
+
+    clean = check_conformance(sys_, [good])
+    assert clean.ok
+    assert "refinement holds" in clean.summary()
+
+
+def test_report_to_dict_round_trips_to_json():
+    import json
+
+    sys_ = make_system()
+    b = bounds_for(sys_, "s0")
+    report = check_conformance(sys_, [fake_metrics(block_times=(b.tau_hat + 9,))])
+    blob = json.dumps(report.to_dict())
+    assert "block_time" in blob

@@ -166,3 +166,28 @@ def test_tau_hat_with_accelerator_chain():
     sys_ = make_system(n_streams=1, eta=10, R=0, eps=1, rho=(1, 1), delta=1)
     # flush = 3 for two accelerators
     assert tau_hat(sys_, "s0") == (10 + 3) * 1
+
+
+def test_throughput_satisfied_unknown_stream_raises():
+    sys_ = make_system(n_streams=2, eta=50, mu=Fraction(1, 1000), R=50, eps=2)
+    with pytest.raises(ParameterError):
+        throughput_satisfied(sys_, "nope")
+
+
+def test_throughput_satisfied_empty_name_checks_that_stream_only():
+    # a stream literally named "" must be looked up individually, not be
+    # mistaken for "check all streams" (the falsy-name bug)
+    streams = (
+        StreamSpec("", Fraction(1, 10**6), 50, block_size=50),
+        StreamSpec("greedy", Fraction(1, 2), 50, block_size=1),
+    )
+    sys_ = GatewaySystem(
+        accelerators=(AcceleratorSpec("a0", 1),),
+        streams=streams,
+        entry_copy=2,
+        exit_copy=1,
+    )
+    # the whole system fails Eq. 5 because of "greedy" ...
+    assert not throughput_satisfied(sys_)
+    # ... but the "" stream on its own satisfies its (tiny) requirement
+    assert throughput_satisfied(sys_, "")

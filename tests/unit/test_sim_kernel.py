@@ -311,3 +311,80 @@ def test_peek_reports_next_event_time():
     assert sim.peek() is None
     sim.timeout(12)
     assert sim.peek() == 12
+
+
+def test_interrupt_same_cycle_as_wakeup_no_double_resume():
+    """An interrupt landing in the same cycle the waited event fires.
+
+    The attacker is registered first, so at cycle 5 its wakeup precedes
+    the victim's: the interrupt detaches the victim from a timeout that is
+    already queued to fire later in the same cycle.  That stale wakeup
+    must be swallowed — previously it resumed the generator as if the
+    wait had completed, and the Interrupt then landed at the wrong yield.
+    """
+    sim = Simulator()
+    log = []
+    cell = {}
+
+    def attacker():
+        yield sim.timeout(5)
+        cell["victim"].interrupt("preempt")
+
+    def victim():
+        try:
+            yield sim.timeout(5, value="wait-done")
+            log.append(("completed", sim.now))
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+        yield sim.timeout(3)
+        log.append(("after", sim.now))
+
+    sim.process(attacker())
+    cell["victim"] = sim.process(victim())
+    sim.run()
+    assert log == [("interrupted", 5, "preempt"), ("after", 8)]
+
+
+def test_all_of_propagates_already_processed_failure():
+    """AllOf over an event that already failed *and* was processed.
+
+    Such events were silently skipped, so the AllOf succeeded as if the
+    failure never happened; it must fail with the original exception.
+    """
+    sim = Simulator()
+    failed = sim.event()
+    failed.fail(RuntimeError("early failure"))
+    swallow = sim.event()
+    failed.add_callback(lambda _e: swallow.succeed())
+    sim.run(until=swallow)  # drive `failed` to processed
+    assert failed.processed and not failed.ok
+
+    caught = []
+
+    def proc():
+        try:
+            yield sim.all_of([failed, sim.timeout(3)])
+        except RuntimeError as err:
+            caught.append((sim.now, str(err)))
+
+    sim.process(proc())
+    sim.run()
+    assert caught == [(0, "early failure")]
+
+
+def test_all_of_already_processed_successes_fire_immediately():
+    sim = Simulator()
+    a = sim.timeout(1, "a")
+    b = sim.timeout(2, "b")
+    sim.run()
+    assert a.processed and b.processed
+
+    got = []
+
+    def proc():
+        values = yield sim.all_of([a, b])
+        got.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(2, ["a", "b"])]

@@ -89,3 +89,59 @@ def test_gantt_row_renders_segments():
 def test_gantt_row_idle():
     row = GanttRow("acc0", ())
     assert "idle" in row.render()
+
+
+# ------------------------------------------------------- structured tracer
+def test_tracer_ring_mode_bounded_memory():
+    t = Tracer(mode="ring", capacity=3)
+    for i in range(10):
+        t.log(i, "gw", "put", word=i)
+    assert [r.time for r in t.records] == [7, 8, 9]
+    assert t.total_logged == 10
+    assert t.dropped == 7
+    # lifetime counters survive eviction
+    assert t.count("put") == 10
+
+
+def test_tracer_aggregate_mode_counts_only():
+    t = Tracer(mode="aggregate")
+    for i in range(5):
+        t.log(i, "gw", "admit", stream="s0")
+    t.log(5, "fifo", "get")
+    assert t.records == []
+    assert t.count("admit") == 5
+    assert t.count("get", source="fifo") == 1
+    assert t.counts() == {("gw", "admit"): 5, ("fifo", "get"): 1}
+    assert t.dropped == 6
+
+
+def test_tracer_mode_validation():
+    with pytest.raises(ValueError):
+        Tracer(mode="bogus")
+    with pytest.raises(ValueError):
+        Tracer(mode="ring")  # no capacity
+    with pytest.raises(ValueError):
+        Tracer(mode="full", capacity=8)  # capacity is ring-only
+
+
+def test_tracer_query_filters():
+    t = Tracer()
+    t.log(0, "gw", "admit", stream="a", block=0)
+    t.log(4, "gw", "admit", stream="b", block=0)
+    t.log(9, "gw", "admit", stream="a", block=1)
+    t.log(9, "fifo", "put", word=1)
+    assert [r.time for r in t.query(kind="admit", stream="a")] == [0, 9]
+    assert [r.time for r in t.query(since=4, until=9)] == [4, 9, 9]
+    assert [r.time for r in t.query(source="gw", since=5)] == [9]
+    assert t.last("admit", stream="a").data["block"] == 1
+    assert t.last("admit", stream="zzz") is None
+
+
+def test_tracer_count_by_source():
+    t = Tracer()
+    t.log(0, "a", "x")
+    t.log(1, "b", "x")
+    assert t.count("x") == 2
+    assert t.count("x", source="a") == 1
+    t.clear()
+    assert t.count("x") == 0 and t.total_logged == 0
