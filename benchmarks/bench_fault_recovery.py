@@ -1,0 +1,125 @@
+"""FAULT: recovery cost sweep for the watchdog/retransmission protocol.
+
+The paper's architecture targets always-on radios; the robustness layer
+(watchdog flush at the entry gateway, credit repair on the dual ring,
+exactly-once retransmission through the exit gateway, Eq. 5 admission
+degradation) must deliver every stream's samples exactly once under each
+fault class the injector models, and its overhead must stay bounded by
+the watchdog budget arithmetic.  This bench sweeps one seeded fault of
+each kind over a two-accelerator / two-stream system and reports the
+recovery latency, retries and degradation each one costs.
+"""
+
+from fractions import Fraction
+
+from repro.arch import simulate_system
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    compute_block_sizes,
+)
+from repro.sim.faults import (
+    ACCEL_STALL,
+    CFIFO_PTR_LOSS,
+    RECONFIG_FAIL,
+    RING_DROP,
+    FaultPlan,
+    FaultSpec,
+)
+
+from conftest import banner
+
+BLOCKS = 4
+
+SWEEP = [
+    ("none", FaultPlan()),
+    ("accel_stall", FaultPlan(specs=(
+        FaultSpec(kind=ACCEL_STALL, at=1000, target="sys.acc0",
+                  duration=2000, extra=1500, count=1),
+    ), seed=7)),
+    ("ring_drop", FaultPlan(specs=(
+        FaultSpec(kind=RING_DROP, at=400, duration=2000, ring="data",
+                  src=4, dst=5, count=1),
+    ), seed=3)),
+    ("cfifo_ptr_loss", FaultPlan(specs=(
+        FaultSpec(kind=CFIFO_PTR_LOSS, at=0, duration=5000, target="pal.in",
+                  side="read", count=2),
+    ), seed=1)),
+    ("reconfig_fail", FaultPlan(specs=(
+        FaultSpec(kind=RECONFIG_FAIL, at=0, duration=100_000, target="ntsc",
+                  count=3),
+    ), seed=2)),
+]
+
+
+def make_system():
+    sys_ = GatewaySystem(
+        accelerators=(AcceleratorSpec("acc0", 1), AcceleratorSpec("acc1", 1)),
+        streams=(StreamSpec("pal", Fraction(1, 120), 410),
+                 StreamSpec("ntsc", Fraction(1, 150), 410)),
+    )
+    return sys_.with_block_sizes(compute_block_sizes(sys_).block_sizes)
+
+
+def run_sweep():
+    rows = []
+    for label, plan in SWEEP:
+        run = simulate_system(make_system(), blocks=BLOCKS, faults=plan)
+        rows.append((label, run, run.fault_report()))
+    return rows
+
+
+def test_fault_recovery_exactly_once(benchmark):
+    rows = benchmark(run_sweep)
+    banner("FAULT — recovery cost per injected fault class")
+    print(f"{'fault':<16} {'stream':<6} {'blocks':>6} {'retries':>7} "
+          f"{'rec cyc':>8} {'degraded':>8} {'horizon':>8}")
+    for label, run, report in rows:
+        for name, s in sorted(report["streams"].items()):
+            print(f"{label:<16} {name:<6} {s['blocks_done']:>6} "
+                  f"{s['retries']:>7} {s['recovery_cycles']:>8} "
+                  f"{s['degraded_cycles']:>8} {run.horizon:>8}")
+            # every stream survives every single-fault scenario in the
+            # sweep and delivers each sample exactly once
+            assert not s["failed"], (label, name)
+            assert s["blocks_done"] == BLOCKS, (label, name)
+        for binding in run.chain.bindings.values():
+            assert binding.samples_out == binding.expected_out * BLOCKS
+            assert binding.samples_in == binding.eta * BLOCKS
+        fired = len(report["injected"])
+        expected = sum(s.count for s in SWEEP[[l for l, _ in SWEEP]
+                                              .index(label)][1].specs)
+        assert fired == expected, (label, fired, expected)
+        assert report["fully_attributed"], (label, report["unattributed"])
+
+
+def test_fault_recovery_overhead_bounded(benchmark):
+    rows = benchmark(run_sweep)
+    banner("FAULT — recovery overhead vs watchdog budget")
+    baseline = next(run for label, run, _ in rows if label == "none")
+    for label, run, report in rows:
+        if label == "none":
+            continue
+        wd = run.watchdog
+        slowdown = run.horizon - baseline.horizon
+        print(f"{label:<16} horizon +{slowdown} cycles")
+        for name, s in report["streams"].items():
+            if not s["watchdog_timeouts"]:
+                continue
+            # each recovery round costs at most one watchdog budget plus
+            # the flush and backoff allowance
+            per_retry = (wd.budget_for(name)
+                         + wd.settle_rounds * wd.settle_cycles
+                         + wd.backoff_cap)
+            allowance = s["retries"] * per_retry
+            for latency in s["recovery_latencies"]:
+                print(f"  {name}: recovery latency {latency} "
+                      f"<= budget allowance {per_retry}")
+                assert latency <= per_retry, (label, name)
+            assert s["recovery_cycles"] <= allowance, (label, name)
+        # a fault-free rerun of the same plan object stays deterministic
+        again = simulate_system(make_system(), blocks=BLOCKS,
+                                faults=SWEEP[[l for l, _ in SWEEP]
+                                             .index(label)][1])
+        assert again.horizon == run.horizon, label

@@ -159,7 +159,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _simulated_run(args: argparse.Namespace):
+def _simulated_run(args: argparse.Namespace, **kwargs):
     """Load a JSON system, assign block sizes if needed, simulate it."""
     from pathlib import Path
 
@@ -170,7 +170,7 @@ def _simulated_run(args: argparse.Namespace):
     if any(s.block_size is None for s in system.streams):
         result = compute_block_sizes(system, backend=args.backend)
         system = system.with_block_sizes(result.block_sizes)
-    return simulate_system(system, blocks=args.blocks)
+    return simulate_system(system, blocks=args.blocks, **kwargs)
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -214,6 +214,45 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         print()
         print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Simulate a JSON gateway system under a fault plan; report recovery."""
+    import json
+    from pathlib import Path
+
+    from .sim.faults import FaultPlan
+
+    plan = FaultPlan.from_json(Path(args.plan).read_text())
+    kwargs = {"faults": plan}
+    if args.max_cycles is not None:
+        kwargs["max_cycles"] = args.max_cycles
+    run = _simulated_run(args, **kwargs)
+    report = run.fault_report()
+    if args.json:
+        print(json.dumps({"horizon": run.horizon, **report}, indent=2))
+        return 0 if report["fully_attributed"] else 1
+    print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles "
+          f"under {len(plan)} fault spec(s), seed {plan.seed}")
+    print()
+    print(f"{len(report['injected'])} fault(s) fired:")
+    for e in report["injected"]:
+        detail = ", ".join(f"{k}={v}" for k, v in e.items()
+                           if k not in ("time", "kind"))
+        print(f"  cycle {e['time']:>8}  {e['kind']:<16} {detail}")
+    print()
+    print(f"{'stream':<12} {'blocks':>6} {'timeouts':>8} {'retries':>7} "
+          f"{'rec cyc':>8} {'degraded':>8} {'outcome':>10}")
+    for name, s in report["streams"].items():
+        outcome = ("FAILED" if s["failed"]
+                   else "recovered" if s["recovered"] else "clean")
+        print(f"{name:<12} {s['blocks_done']:>6} {s['watchdog_timeouts']:>8} "
+              f"{s['retries']:>7} {s['recovery_cycles']:>8} "
+              f"{s['degraded_cycles']:>8} {outcome:>10}")
+    print()
+    attributed = run.attributed_conformance()
+    print(attributed.summary())
+    return 0 if attributed.fully_attributed else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -271,6 +310,20 @@ def main(argv: list[str] | None = None) -> int:
                    help="check against the bare model parameters instead of "
                         "the architecture-calibrated ones")
     p.set_defaults(fn=cmd_conformance)
+
+    p = sub.add_parser(
+        "faults",
+        help="simulate a JSON config under a fault plan; recovery report",
+    )
+    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    p.add_argument("--plan", required=True,
+                   help="path to a fault-plan JSON (see repro.sim.faults)")
+    p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
+    p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="hard cycle cap; stalling past it is an error")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_faults)
 
     args = parser.parse_args(argv)
     return args.fn(args)

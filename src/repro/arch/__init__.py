@@ -11,7 +11,7 @@ from .accelerator_tile import AcceleratorTile
 from .cfifo import CFifo
 from .config_bus import ConfigBus
 from .gateway import EntryGateway, ExitGateway, GatewayError, StreamBinding
-from .harness import SimulationRun, simulate_system
+from .harness import SimulationRun, SimulationStalled, simulate_system
 from .ni import HardwareFifoChannel
 from .processor import ProcessorTile
 from .program import BuiltProgram, ProgramError, StreamProgram
@@ -40,6 +40,7 @@ __all__ = [
     "RingError",
     "SharedChain",
     "SimulationRun",
+    "SimulationStalled",
     "Sleep",
     "StreamBinding",
     "TaskSpec",

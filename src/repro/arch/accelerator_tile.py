@@ -46,6 +46,10 @@ class AcceleratorTile:
         self.samples_in = 0
         self.samples_out = 0
         self.busy = False
+        #: outputs computed but not yet pushed into the outgoing channel
+        self.pending_out = 0
+        #: optional :class:`repro.sim.faults.FaultInjector` stall hook
+        self.fault_injector = None
         self._shadow_bank: dict[str, dict[str, Any]] = {}
         self._process = sim.process(self._run(), name=f"acc:{name}")
 
@@ -55,15 +59,21 @@ class AcceleratorTile:
             self.busy = True
             if self.kernel.rho:
                 yield self.sim.timeout(self.kernel.rho)
+            if self.fault_injector is not None:
+                extra = self.fault_injector.accel_extra(self.name)
+                if extra:
+                    yield self.sim.timeout(extra)
             outputs = self.kernel.process(word)
             self.samples_in += 1
             self.busy = False
             if self.tracer:
                 self.tracer.log(self.sim.now, self.name, "fire",
                                 produced=len(outputs))
+            self.pending_out = len(outputs)
             for out in outputs:
                 yield from self.output.send(out)
                 self.samples_out += 1
+                self.pending_out -= 1
 
     # -- context switching (driven by the entry-gateway) -------------------
     @property

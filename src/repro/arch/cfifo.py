@@ -67,6 +67,11 @@ class CFifo:
         #: claimed = capacity − producer space view, so it covers words both
         #: in flight on the ring and resident in the consumer's memory.
         self.high_water = 0
+        #: optional :class:`repro.sim.faults.FaultInjector` pointer-loss hook
+        self.fault_injector = None
+        #: pointer updates lost to injected faults, repaid by :meth:`resync`
+        self.lost_space = 0
+        self.lost_avail = 0
 
     # -- producer ---------------------------------------------------------
     def put(self, word: Any):
@@ -81,12 +86,18 @@ class CFifo:
             ring=DualRing.DATA, on_delivery=self._memory.append,
         )
         yield accepted
-        # write-pointer update; availability becomes visible on delivery
-        accepted2, _ = self.ring.post(
-            self.producer, self.consumer, None,
-            ring=DualRing.DATA, on_delivery=lambda _p: self._avail.release(1),
-        )
-        yield accepted2
+        injector = self.fault_injector
+        if injector is not None and injector.cfifo_ptr_loss(self.name, "write"):
+            # the wptr flit is lost before injection: the consumer never
+            # learns about this word until a resync repairs the view
+            self.lost_avail += 1
+        else:
+            # write-pointer update; availability becomes visible on delivery
+            accepted2, _ = self.ring.post(
+                self.producer, self.consumer, None,
+                ring=DualRing.DATA, on_delivery=lambda _p: self._avail.release(1),
+            )
+            yield accepted2
         self.words_put += 1
         if self.tracer:
             self.tracer.log(self.sim.now, self.name, Kind.PUT, word=word)
@@ -100,23 +111,75 @@ class CFifo:
     def get(self):
         """Generator: wait for a visible word, read it, post the rptr update."""
         yield self._avail.acquire(1)
-        if not self._memory:
-            raise SimulationError(f"{self.name}: pointer/data ordering violated")
+        while not self._memory:
+            if self.fault_injector is None:
+                raise SimulationError(f"{self.name}: pointer/data ordering violated")
+            # under fault injection a resync can make availability visible
+            # slightly before a delayed data flit lands; spin until it does
+            yield self.sim.timeout(1)
         word = self._memory.popleft()
         self.words_got += 1
-        # read-pointer update replenishes producer space on arrival
-        self.ring.post(
-            self.consumer, self.producer, None,
-            ring=DualRing.DATA, on_delivery=lambda _p: self._space.release(1),
-        )
+        injector = self.fault_injector
+        if injector is not None and injector.cfifo_ptr_loss(self.name, "read"):
+            # the rptr flit is lost: the producer's space view leaks a slot
+            # until a resync repairs it
+            self.lost_space += 1
+        else:
+            # read-pointer update replenishes producer space on arrival
+            self.ring.post(
+                self.consumer, self.producer, None,
+                ring=DualRing.DATA, on_delivery=lambda _p: self._space.release(1),
+            )
         if self.tracer:
             self.tracer.log(self.sim.now, self.name, Kind.GET, word=word)
         return word
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(ok, word)``.
+
+        Behaves like :meth:`get` when a word is visible *and* resident;
+        returns ``(False, None)`` otherwise.  The entry gateway's guarded
+        (watchdog) path uses this so an interrupted fetch can never strand
+        a half-consumed availability token.
+        """
+        if self._avail.count < 1 or not self._memory:
+            return False, None
+        if not self._avail.try_acquire(1):
+            return False, None
+        word = self._memory.popleft()
+        self.words_got += 1
+        injector = self.fault_injector
+        if injector is not None and injector.cfifo_ptr_loss(self.name, "read"):
+            self.lost_space += 1
+        else:
+            self.ring.post(
+                self.consumer, self.producer, None,
+                ring=DualRing.DATA, on_delivery=lambda _p: self._space.release(1),
+            )
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, Kind.GET, word=word)
+        return True, word
 
     @property
     def consumer_available(self) -> int:
         """Words currently visible to the consumer."""
         return self._avail.count
+
+    def resync(self) -> tuple[int, int]:
+        """Repay pointer updates lost to injected faults.
+
+        Models a recovery-time pointer resynchronisation (producer and
+        consumer re-exchange their true pointers).  Returns
+        ``(space_restored, avail_restored)``.
+        """
+        space, avail = self.lost_space, self.lost_avail
+        if space:
+            self._space.release(space)
+        if avail:
+            self._avail.release(avail)
+        self.lost_space = 0
+        self.lost_avail = 0
+        return space, avail
 
     def level_debug(self) -> dict[str, int]:
         """Snapshot of the distributed state (for tests/diagnostics)."""
@@ -127,4 +190,6 @@ class CFifo:
             "put": self.words_put,
             "got": self.words_got,
             "high_water": self.high_water,
+            "lost_space": self.lost_space,
+            "lost_avail": self.lost_avail,
         }

@@ -21,6 +21,19 @@ sample) and raises the pipeline-idle signal after the block's last sample.
 
 Utilisation counters mirror the paper's Section VI-A discussion: copy
 cycles, reconfiguration cycles and idle time are accounted separately.
+
+**Fault recovery** (optional): when the entry gateway is given a
+:class:`~repro.sim.faults.WatchdogConfig`, every admitted block is guarded
+by a watchdog timer set to the stream's γ_s turnaround bound plus slack.
+On expiry the gateway aborts the block, flushes the chain to quiescence
+(repairing credits and C-FIFO pointers lost to injected faults), rolls the
+accelerator contexts back to their block-start state, and retransmits the
+block with bounded exponential backoff — skipping output samples the exit
+gateway already delivered, so the consumer sees each sample exactly once.
+An optional :class:`~repro.sim.faults.AdmissionController` pauses
+low-priority streams while recovery overhead breaks the Eq. 5 throughput
+check and re-admits them after a healthy window.  Without a watchdog the
+gateways behave cycle-for-cycle as the fault-free protocol.
 """
 
 from __future__ import annotations
@@ -29,7 +42,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any
 
-from ..sim import FifoQueue, Signal, SimulationError, Simulator, Tracer
+from ..sim import FifoQueue, Interrupt, Signal, SimulationError, Simulator, Tracer
 from ..sim.trace import Kind
 from .accelerator_tile import AcceleratorTile
 from .cfifo import CFifo
@@ -37,6 +50,9 @@ from .config_bus import ConfigBus
 from .ni import HardwareFifoChannel
 
 __all__ = ["StreamBinding", "EntryGateway", "ExitGateway", "GatewayError"]
+
+#: bound on back-to-back reconfiguration repeats under injected failures
+_RECONFIG_RETRY_CAP = 16
 
 
 class GatewayError(SimulationError):
@@ -62,6 +78,15 @@ class StreamBinding:
     last_output_at: int | None = None
     admissions: list[int] = field(default_factory=list)
     completions: list[int] = field(default_factory=list)
+
+    # -- recovery bookkeeping (all zero on a fault-free run) ---------------
+    retries: int = 0
+    watchdog_timeouts: int = 0
+    recovery_cycles: int = 0
+    recovery_latencies: list[int] = field(default_factory=list)
+    degraded_cycles: int = 0
+    paused_at: int | None = None
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.eta < 1:
@@ -99,38 +124,115 @@ class ExitGateway:
         self.tracer = tracer
         self._blocks = FifoQueue(sim, capacity=4, name=f"{name}.blocks")
         self.samples_forwarded = 0
-        sim.process(self._run(), name=f"exitgw:{name}")
+        #: stale words consumed during watchdog flushes + retransmit dedup
+        self.discarded = 0
+        self._active: StreamBinding | None = None
+        self._skip = 0
+        self._delivered = 0
+        self._abort_requested = False
+        self._draining = False
+        self._in_recv = False
+        self._proc = sim.process(self._run(), name=f"exitgw:{name}")
 
-    def begin_block(self, binding: StreamBinding) -> None:
-        """Called by the entry-gateway right before it streams a block."""
-        if not self._blocks.try_put(binding):
+    def begin_block(self, binding: StreamBinding, skip: int = 0) -> None:
+        """Called by the entry-gateway right before it streams a block.
+
+        ``skip`` output samples (already delivered by an aborted earlier
+        attempt of the same block) are consumed and discarded instead of
+        being forwarded, giving exactly-once delivery under retransmission.
+        """
+        if not self._blocks.try_put((binding, int(skip))):
             raise GatewayError(f"{self.name}: too many blocks in flight")
+
+    # -- recovery interface (driven by the entry gateway's watchdog) -------
+    def abort_current(self) -> None:
+        """Abort the in-flight block and discard chain output until told to
+        stop.  The in-flight output sample, if any, still completes — a word
+        is either fully delivered or not delivered at all."""
+        self._abort_requested = True
+        self._draining = True
+        while True:
+            ok, _stale = self._blocks.try_get()
+            if not ok:
+                break
+        if self._in_recv:
+            self._proc.interrupt("watchdog-flush")
+
+    def aborted_delivery(self) -> int:
+        """Output samples of the aborted block delivered across all attempts.
+
+        Only meaningful between :meth:`abort_current` and the next
+        :meth:`begin_block`, once the chain has quiesced.
+        """
+        return self._skip + self._delivered
+
+    def stop_drain(self) -> None:
+        """End discard mode; the gateway re-arms for the next block."""
+        self._draining = False
+        self._abort_requested = False
 
     def _run(self):
         while True:
-            binding: StreamBinding = yield self._blocks.get()
-            for _ in range(binding.expected_out):
-                word = yield from self.input.recv()
-                if self.exit_copy:
-                    yield self.sim.timeout(self.exit_copy)
-                yield from binding.out_fifo.put(word)
-                self.samples_forwarded += 1
-                binding.samples_out += 1
-                if binding.first_output_at is None:
-                    binding.first_output_at = self.sim.now
-                binding.last_output_at = self.sim.now
-            binding.blocks_done += 1
-            binding.completions.append(self.sim.now)
-            if self.tracer:
-                admitted = binding.admissions[binding.blocks_done - 1]
-                self.tracer.log(self.sim.now, self.name, Kind.BLOCK_DONE,
-                                stream=binding.name,
-                                block=binding.blocks_done - 1,
-                                admitted_at=admitted,
-                                block_time=self.sim.now - admitted,
-                                samples=binding.expected_out)
-            # the pipeline is empty: allow the next block in
-            self.idle.release(1)
+            try:
+                binding, skip = yield self._blocks.get()
+                self._active = binding
+                self._skip, self._delivered = skip, 0
+                aborted = False
+                for i in range(binding.expected_out):
+                    self._in_recv = True
+                    word = yield from self.input.recv()
+                    self._in_recv = False
+                    if self._abort_requested:
+                        self.discarded += 1
+                        aborted = True
+                        break
+                    if i < skip:
+                        # delivered by a previous attempt of this block
+                        self.discarded += 1
+                        continue
+                    if self.exit_copy:
+                        yield self.sim.timeout(self.exit_copy)
+                    yield from binding.out_fifo.put(word)
+                    self.samples_forwarded += 1
+                    binding.samples_out += 1
+                    if binding.first_output_at is None:
+                        binding.first_output_at = self.sim.now
+                    binding.last_output_at = self.sim.now
+                    self._delivered += 1
+                    if self._abort_requested:
+                        aborted = True
+                        break
+                self._active = None
+                if aborted:
+                    yield from self._drain_loop()
+                    continue
+                binding.blocks_done += 1
+                binding.completions.append(self.sim.now)
+                if self.tracer:
+                    admitted = binding.admissions[binding.blocks_done - 1]
+                    self.tracer.log(self.sim.now, self.name, Kind.BLOCK_DONE,
+                                    stream=binding.name,
+                                    block=binding.blocks_done - 1,
+                                    admitted_at=admitted,
+                                    block_time=self.sim.now - admitted,
+                                    samples=binding.expected_out)
+                # the pipeline is empty: allow the next block in
+                self.idle.release(1)
+            except Interrupt:
+                self._in_recv = False
+                self._active = None
+                yield from self._drain_loop()
+
+    def _drain_loop(self):
+        """Consume and discard chain output (returning credits) while the
+        entry gateway flushes the pipeline."""
+        while self._draining:
+            while True:
+                ok, _word = self.input.try_recv()
+                if not ok:
+                    break
+                self.discarded += 1
+            yield self.sim.timeout(1)
 
 
 class EntryGateway:
@@ -150,6 +252,10 @@ class EntryGateway:
         context_mode: str = "software",
         shadow_switch_cycles: int = 4,
         tracer: Tracer | None = None,
+        watchdog: Any = None,
+        admission: Any = None,
+        fault_injector: Any = None,
+        channels: list[HardwareFifoChannel] | None = None,
     ) -> None:
         if not bindings:
             raise GatewayError("entry gateway needs at least one stream binding")
@@ -177,6 +283,24 @@ class EntryGateway:
         self.shadow_switch_cycles = int(shadow_switch_cycles)
         self.tracer = tracer
         self.idle = exit_gateway.idle
+        #: :class:`~repro.sim.faults.WatchdogConfig` or None (fault-free path)
+        self.watchdog = watchdog
+        #: :class:`~repro.sim.faults.AdmissionController` or None
+        self.admission = admission
+        #: :class:`~repro.sim.faults.FaultInjector` or None
+        self.fault_injector = fault_injector
+        self._channels = (
+            list(channels)
+            if channels is not None
+            else [chain_input, *(t.output for t in tiles)]
+        )
+        #: chronological fault/timeout/retry/degrade events (dicts)
+        self.recovery_log: list[dict[str, Any]] = []
+        self._by_name = {b.name: b for b in self.bindings}
+        self._last_progress = 0
+        #: set when a flush gave up with the chain still holding state; no
+        #: stream is admissible until the chain drains and the books settle
+        self._dirty = False
         if context_mode == "shadow":
             # preload every stream's context into every tile's shadow bank
             for binding in bindings:
@@ -192,7 +316,12 @@ class EntryGateway:
 
     # -- admission test -----------------------------------------------------
     def _ready(self, binding: StreamBinding) -> bool:
-        """The paper's three admission conditions, all non-blocking."""
+        """The paper's three admission conditions, all non-blocking.
+
+        Failed or degradation-paused streams are never admissible.
+        """
+        if self._dirty or binding.failed or binding.paused_at is not None:
+            return False
         return (
             self.idle.count >= 1
             and binding.in_fifo.consumer_available >= binding.eta
@@ -206,6 +335,7 @@ class EntryGateway:
         In ``software`` mode the switch pays the word-by-word bus transfer
         (or the binding's explicit ``R_s``); in ``shadow`` mode (the
         paper's future-work extension) it is a constant-time bank swap.
+        An injected reconfiguration failure repeats the bus transfer.
         """
         start = self.sim.now
         if self._current is not binding:
@@ -213,9 +343,19 @@ class EntryGateway:
                 outgoing = self._current.name if self._current else None
                 for tile in self.tiles:
                     tile.activate_shadow(outgoing, binding.name)
-                yield from self.config_bus.transfer_cycles(
-                    self.shadow_switch_cycles, label=f"shadow:{binding.name}"
-                )
+                attempts = 0
+                while True:
+                    yield from self.config_bus.transfer_cycles(
+                        self.shadow_switch_cycles, label=f"shadow:{binding.name}"
+                    )
+                    attempts += 1
+                    if (
+                        self.fault_injector is not None
+                        and attempts < _RECONFIG_RETRY_CAP
+                        and self.fault_injector.reconfig_fails(binding.name)
+                    ):
+                        continue
+                    break
             else:
                 if self._current is not None:
                     for i, tile in enumerate(self.tiles):
@@ -223,17 +363,27 @@ class EntryGateway:
                 save_words = (
                     sum(t.state_words for t in self.tiles) if self._current else 0
                 )
-                for i, tile in enumerate(self.tiles):
-                    tile.load_state(binding.states[i])
-                load_words = sum(t.state_words for t in self.tiles)
-                if binding.reconfigure_cycles is not None:
-                    yield from self.config_bus.transfer_cycles(
-                        binding.reconfigure_cycles, label=f"R:{binding.name}"
-                    )
-                else:
-                    yield from self.config_bus.transfer(
-                        save_words + load_words, label=f"ctx:{binding.name}"
-                    )
+                attempts = 0
+                while True:
+                    for i, tile in enumerate(self.tiles):
+                        tile.load_state(binding.states[i])
+                    load_words = sum(t.state_words for t in self.tiles)
+                    if binding.reconfigure_cycles is not None:
+                        yield from self.config_bus.transfer_cycles(
+                            binding.reconfigure_cycles, label=f"R:{binding.name}"
+                        )
+                    else:
+                        yield from self.config_bus.transfer(
+                            save_words + load_words, label=f"ctx:{binding.name}"
+                        )
+                    attempts += 1
+                    if (
+                        self.fault_injector is not None
+                        and attempts < _RECONFIG_RETRY_CAP
+                        and self.fault_injector.reconfig_fails(binding.name)
+                    ):
+                        continue
+                    break
             self._current = binding
         self.reconfig_cycles += self.sim.now - start
         if self.tracer:
@@ -253,10 +403,13 @@ class EntryGateway:
                 rr = (rr + offset + 1) % len(self.bindings)
                 yield from self._process_block(binding)
                 admitted = True
+                self._last_progress = self.sim.now
                 break
             if not admitted:
                 self.wait_cycles += self.poll_interval
                 yield self.sim.timeout(self.poll_interval)
+                if self.watchdog is not None:
+                    self._poll_maintenance()
 
     def _process_block(self, binding: StreamBinding):
         yield self.idle.acquire(1)
@@ -267,6 +420,13 @@ class EntryGateway:
                             stream=binding.name, eta=binding.eta,
                             block=len(binding.admissions) - 1)
         yield from self._reconfigure(binding)
+        if self.watchdog is None:
+            yield from self._run_block(binding)
+        else:
+            yield from self._run_block_guarded(binding)
+
+    def _run_block(self, binding: StreamBinding):
+        """The fault-free streaming path (cycle-exact legacy behaviour)."""
         self.exit_gateway.begin_block(binding)
         copy_start = self.sim.now
         for _ in range(binding.eta):
@@ -282,3 +442,223 @@ class EntryGateway:
                             cycles=self.sim.now - copy_start)
         # NOTE: the idle token is released by the exit gateway once the
         # block's last output sample has left the pipeline.
+
+    # -- watchdog-guarded streaming (recovery path) -------------------------
+    def _run_block_guarded(self, binding: StreamBinding):
+        """Stream one block under a watchdog; flush + retransmit on expiry."""
+        wd = self.watchdog
+        budget = wd.budget_for(binding.name)
+        retained: list[Any] = []    # input words fetched so far (replay source)
+        delivered = 0               # output samples the consumer already has
+        attempt = 0
+        block_recovery = 0
+        completions_before = len(binding.completions)
+        while True:
+            self.exit_gateway.begin_block(binding, skip=delivered)
+            worker = self.sim.process(
+                self._stream_and_wait(binding, retained),
+                name=f"block:{binding.name}",
+            )
+            timer = self.sim.timeout(budget)
+            idx, _value = yield self.sim.any_of([worker, timer])
+            if idx == 0 or len(binding.completions) > completions_before:
+                # block completed (idx == 1 means the timer tied with it)
+                if not worker.processed:
+                    yield worker
+                if attempt:
+                    self._log(Kind.RECOVERED, binding.name, retries=attempt,
+                              recovery_cycles=block_recovery)
+                self.idle.release(1)
+                return
+            # -- watchdog expired ------------------------------------------
+            timeout_at = self.sim.now
+            binding.watchdog_timeouts += 1
+            self._log(Kind.WATCHDOG, binding.name, attempt=attempt,
+                      budget=budget)
+            if worker.is_alive:
+                worker.interrupt("watchdog")
+            self.exit_gateway.abort_current()
+            flushed = yield from self._quiesce_chain()
+            delivered = self.exit_gateway.aborted_delivery()
+            attempt += 1
+            if not flushed or attempt > wd.retry_limit:
+                reason = "flush-failed" if not flushed else "retry-limit"
+                if flushed:
+                    self.exit_gateway.stop_drain()
+                else:
+                    # the chain still holds in-flight state (e.g. a tile
+                    # stuck in a long stall): keep the exit draining and
+                    # block all admission until the chain finally settles
+                    self._dirty = True
+                self._fail_stream(binding, reason, attempt)
+                return
+            yield from self._rollback_contexts(binding)
+            self.exit_gateway.stop_drain()
+            backoff = wd.backoff(attempt)
+            yield self.sim.timeout(backoff)
+            recovery = self.sim.now - timeout_at
+            binding.retries += 1
+            binding.recovery_cycles += recovery
+            binding.recovery_latencies.append(recovery)
+            block_recovery += recovery
+            self._log(Kind.RETRY, binding.name, attempt=attempt,
+                      backoff=backoff, skip=delivered,
+                      recovery_cycles=recovery)
+            if self.admission is not None:
+                paused = self.admission.note_recovery(
+                    self.sim.now, binding.name, recovery
+                )
+                for name in paused:
+                    self._pause_stream(name)
+
+    def _stream_and_wait(self, binding: StreamBinding, retained: list[Any]):
+        """One guarded streaming attempt: copy the block in, await idle.
+
+        Words already fetched from the input C-FIFO in an earlier attempt
+        are replayed from ``retained`` instead of being fetched again — the
+        rolled-back accelerator contexts reproduce the same outputs, which
+        the exit gateway dedups via its ``skip`` count.
+        """
+        copy_start = self.sim.now
+        for i in range(binding.eta):
+            if i < len(retained):
+                word = retained[i]
+            else:
+                while True:
+                    ok, word = binding.in_fifo.try_get()
+                    if ok:
+                        break
+                    # a fault can briefly hide admitted words; poll instead of
+                    # blocking so a watchdog interrupt can never tear a wait
+                    yield self.sim.timeout(1)
+                retained.append(word)
+                binding.samples_in += 1
+            if self.entry_copy:
+                yield self.sim.timeout(self.entry_copy)
+            yield from self.chain_input.send(word)
+        self.copy_cycles += self.sim.now - copy_start
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, Kind.COPY,
+                            stream=binding.name, samples=binding.eta,
+                            cycles=self.sim.now - copy_start)
+        # reclaim the idle token the exit gateway releases on completion
+        yield self.idle.acquire(1)
+
+    # -- flush / quiescence -------------------------------------------------
+    def _chain_quiet(self) -> bool:
+        """No tile is firing or holding outputs, no channel holds words."""
+        for tile in self.tiles:
+            if tile.busy or tile.pending_out or tile.input.buffered:
+                return False
+        for ch in self._channels:
+            if ch.buffered or ch.words_in_flight:
+                return False
+        return True
+
+    def _quiesce_chain(self):
+        """Drive the chain to a quiet state after an abort.
+
+        Each settle round repairs fault-induced credit/pointer losses (so
+        tiles blocked on dead credits can flush) and then checks for
+        quiescence; two consecutive quiet rounds with a stable discard
+        count mean the pipeline is drained.  Returns True on success.
+        """
+        wd = self.watchdog
+        quiet = 0
+        for _ in range(wd.settle_rounds):
+            before = self.exit_gateway.discarded
+            yield self.sim.timeout(wd.settle_cycles)
+            self._repair_losses()
+            if self._chain_quiet() and self.exit_gateway.discarded == before:
+                quiet += 1
+                if quiet >= 2:
+                    return True
+            else:
+                quiet = 0
+        return False
+
+    def _repair_losses(self) -> None:
+        """Settle the books on every channel and C-FIFO after faults."""
+        inj = self.fault_injector
+        for ch in self._channels:
+            data_drops = credit_drops = 0
+            if inj is not None:
+                data_drops, credit_drops = inj.claim_drops(ch.src, ch.dst)
+            restored = ch.repair(data_drops, credit_drops)
+            if restored:
+                self._log(Kind.RESYNC, None, channel=ch.name,
+                          credits=restored, data_drops=data_drops,
+                          credit_drops=credit_drops)
+        for binding in self.bindings:
+            for fifo in (binding.in_fifo, binding.out_fifo):
+                resync = getattr(fifo, "resync", None)
+                if resync is None:
+                    continue
+                space, avail = resync()
+                if space or avail:
+                    self._log(Kind.RESYNC, binding.name, fifo=fifo.name,
+                              space=space, avail=avail)
+
+    def _rollback_contexts(self, binding: StreamBinding):
+        """Reload the block-start accelerator contexts after a flush.
+
+        The contexts parked at the stream's last switch-out are exactly its
+        block-start state (nothing ran between), so a forced reconfigure
+        restores determinism for the replay.
+        """
+        self._current = None
+        yield from self._reconfigure(binding)
+
+    # -- degradation ---------------------------------------------------------
+    def _pause_stream(self, name: str) -> None:
+        binding = self._by_name.get(name)
+        if binding is None or binding.paused_at is not None or binding.failed:
+            return
+        binding.paused_at = self.sim.now
+        self._log(Kind.DEGRADE, name)
+
+    def _resume_stream(self, name: str) -> None:
+        binding = self._by_name.get(name)
+        if binding is None or binding.paused_at is None:
+            return
+        binding.degraded_cycles += self.sim.now - binding.paused_at
+        binding.paused_at = None
+        self._log(Kind.READMIT, name, degraded_cycles=binding.degraded_cycles)
+
+    def _fail_stream(self, binding: StreamBinding, reason: str,
+                     retries: int) -> None:
+        binding.failed = True
+        self._log(Kind.STREAM_FAILED, binding.name, reason=reason,
+                  retries=retries)
+        if self.admission is not None:
+            self.admission.mark_failed(binding.name)
+        # the failed stream's contexts were never saved back; force a full
+        # reload on the next switch instead of saving corrupt state over it
+        self._current = None
+        wd = self.watchdog
+        if wd is not None and wd.on_stream_failed is not None:
+            wd.on_stream_failed(binding.name)
+        # hand the admission token back so other streams keep flowing
+        self.idle.release(1)
+
+    def _poll_maintenance(self) -> None:
+        """Between admissions: dirty-chain settling, re-admission ticks and
+        stall resyncs."""
+        if self._dirty:
+            self._repair_losses()
+            if self._chain_quiet():
+                self._dirty = False
+                self.exit_gateway.stop_drain()
+                self._log(Kind.RESYNC, None, chain_drained=True)
+        if self.admission is not None:
+            for name in self.admission.tick(self.sim.now):
+                self._resume_stream(name)
+        if self.sim.now - self._last_progress >= self.watchdog.stall_resync_after:
+            self._repair_losses()
+            self._last_progress = self.sim.now
+
+    def _log(self, kind: str, stream: str | None, **data: Any) -> None:
+        record = {"time": self.sim.now, "kind": kind, "stream": stream, **data}
+        self.recovery_log.append(record)
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, kind, stream=stream, **data)

@@ -20,23 +20,42 @@ from dataclasses import dataclass, field
 
 from ..accel import MixerKernel
 from ..core.conformance import (
+    AttributedReport,
     ConformanceReport,
+    attribute_conformance,
     calibrated_system,
     check_conformance,
 )
 from ..core.params import GatewaySystem
+from ..core.timing import tau_hat
 from ..sim.metrics import (
     GatewayUtilization,
     StreamMetrics,
     gateway_utilization,
     stream_metrics,
 )
-from ..sim import Signal
+from ..sim import Signal, SimulationError
+from ..sim.faults import (
+    AdmissionController,
+    FaultInjector,
+    FaultPlan,
+    StreamRequirement,
+    WatchdogConfig,
+)
 from ..sim.trace import Kind
 from .scheduler import Get, Put, TaskSpec
 from .system import MPSoC, SharedChain
 
-__all__ = ["SimulationRun", "simulate_system"]
+__all__ = ["SimulationRun", "SimulationStalled", "simulate_system"]
+
+
+class SimulationStalled(SimulationError):
+    """``simulate_system`` hit its ``max_cycles`` guard before the streams
+    drained.  The message names the stalled gateways and streams."""
+
+    def __init__(self, diagnostic: str) -> None:
+        super().__init__(diagnostic)
+        self.diagnostic = diagnostic
 
 
 @dataclass
@@ -49,6 +68,9 @@ class SimulationRun:
     blocks: int
     poll_interval: int
     horizon: int = field(default=0)
+    injector: FaultInjector | None = field(default=None)
+    watchdog: WatchdogConfig | None = field(default=None)
+    admission: AdmissionController | None = field(default=None)
 
     def metrics(self) -> dict[str, StreamMetrics]:
         """Per-stream observed metrics, in round-robin order."""
@@ -76,6 +98,54 @@ class SimulationRun:
         slack = self.poll_interval * len(self.system.streams)
         return check_conformance(model, self.metrics().values(), wait_slack=slack)
 
+    def attributed_conformance(self, calibrated: bool = True) -> AttributedReport:
+        """Conformance report with every violation traced to injected faults.
+
+        On a fault-free run this degenerates to the plain report with zero
+        injected events; with a fault plan, ``fully_attributed`` is the
+        property to assert — an unattributed violation is a genuine
+        refinement bug, not fault fallout.
+        """
+        events = self.injector.events if self.injector is not None else []
+        # recovery actions (watchdog flush, degrade/readmit pause) taken
+        # after the first real fault are fault fallout: violations they
+        # cause are explained, not refinement bugs
+        secondary: list[dict] = []
+        if events:
+            first = min(e["time"] for e in events)
+            secondary = [r for r in self.chain.entry.recovery_log
+                         if r["time"] >= first]
+        return attribute_conformance(
+            self.conformance(calibrated=calibrated), events,
+            self.chain.bindings, secondary=secondary,
+        )
+
+    def fault_report(self) -> dict:
+        """Recovery outcome of the run: injected faults, per-stream recovery
+        counters, the entry gateway's recovery log and the attribution of
+        any bound violations."""
+        attributed = self.attributed_conformance()
+        streams = {}
+        for name, m in self.metrics().items():
+            streams[name] = {
+                "blocks_done": m.blocks_done,
+                "retries": m.retries,
+                "watchdog_timeouts": m.watchdog_timeouts,
+                "recovery_cycles": m.recovery_cycles,
+                "recovery_latencies": list(m.recovery_latencies),
+                "degraded_cycles": m.degraded_cycles,
+                "failed": m.failed,
+                "recovered": m.recovered,
+            }
+        return {
+            "injected": [dict(e) for e in attributed.injected],
+            "streams": streams,
+            "recovery_log": [dict(r) for r in self.chain.entry.recovery_log],
+            "violations": len(attributed.attributions),
+            "fully_attributed": attributed.fully_attributed,
+            "unattributed": [v.to_dict() for v in attributed.unattributed],
+        }
+
 
 def simulate_system(
     system: GatewaySystem,
@@ -85,12 +155,26 @@ def simulate_system(
     trace_capacity: int | None = None,
     poll_interval: int = 1,
     context_mode: str = "software",
+    faults: FaultPlan | None = None,
+    watchdog: WatchdogConfig | None = None,
+    admission: AdmissionController | bool | None = None,
+    max_cycles: int | None = None,
 ) -> SimulationRun:
     """Simulate ``system`` with ``blocks`` backlogged blocks per stream.
 
     Every stream must have a block size assigned (run Algorithm 1 first).
     Returns once all streams' outputs have been drained or the conservative
     horizon is reached.
+
+    A non-empty ``faults`` plan arms a :class:`~repro.sim.faults.FaultInjector`
+    and (unless overridden) a default watchdog whose per-stream budgets are
+    the calibrated τ̂ block-time bounds, plus an admission controller built
+    from the streams' μ requirements.  Pass a ``watchdog`` explicitly to
+    guard a fault-free run, or ``admission=False`` to disable degradation.
+
+    ``max_cycles``, when given, replaces the conservative deadlock cap and
+    turns hitting it into a :class:`SimulationStalled` error whose message
+    names the stalled gateways and streams.
     """
     system.require_block_sizes()
     kernels = []
@@ -129,14 +213,47 @@ def simulate_system(
             "states": [MixerKernel(0.0).get_state() for _ in kernels],
             "reconfigure_cycles": spec.reconfigure,
         })
+    drained = Signal(soc.sim, name="harness.drained")
+
+    injector = None
+    if faults is not None and len(faults):
+        injector = FaultInjector(faults, soc.sim,
+                                 tracer=soc.tracer if trace else None)
+    wd = watchdog
+    adm = admission if isinstance(admission, AdmissionController) else None
+    if injector is not None or wd is not None:
+        cal = calibrated_system(system)
+        if wd is None:
+            # budget = calibrated block-time bound + generous slack for
+            # injected per-flit delays that stay within recoverable range
+            budgets = {s.name: tau_hat(cal, s.name) for s in system.streams}
+            wd = WatchdogConfig(budgets=budgets, slack=256)
+        if adm is None and admission is not False and len(system.streams) > 1:
+            adm = AdmissionController([
+                StreamRequirement(
+                    name=s.name, mu=s.throughput,
+                    tau=tau_hat(cal, s.name), eta=s.block_size,
+                )
+                for s in system.streams
+            ])
+        # a failed stream will never drain; count it as done so the run
+        # terminates instead of spinning to the cycle cap
+        user_failed_cb = wd.on_stream_failed
+
+        def _on_stream_failed(name: str) -> None:
+            drained.release(1)
+            if user_failed_cb is not None:
+                user_failed_cb(name)
+
+        wd.on_stream_failed = _on_stream_failed
+
     chain = soc.shared_chain(
         "sys", kernels, configs,
         entry_copy=system.entry_copy, exit_copy=system.exit_copy,
         ni_capacity=system.ni_capacity, poll_interval=poll_interval,
         context_mode=context_mode,
+        watchdog=wd, admission=adm, fault_injector=injector,
     )
-
-    drained = Signal(soc.sim, name="harness.drained")
 
     def producer(fifo, count):
         def gen():
@@ -168,16 +285,66 @@ def simulate_system(
     per_sample = system.entry_copy + sum(a.rho + 4 for a in system.accelerators) + 30
     cap = ((max_r + max_eta * per_sample) * blocks
            * (len(system.streams) + 2) + 10_000)
+    if wd is not None:
+        # recovery runs legitimately take much longer: budget the retries,
+        # flush settling, backoff and degradation windows on top
+        per_block_recovery = (wd.retry_limit + 1) * (
+            wd.default_budget + wd.slack
+            + wd.settle_cycles * wd.settle_rounds + wd.backoff_cap
+        )
+        cap += per_block_recovery * blocks * len(system.streams) + 100_000
+        if adm is not None:
+            cap += adm.healthy_window * len(system.streams)
+    if max_cycles is not None:
+        cap = max_cycles
     done = soc.sim.process(_wait_for(drained, len(configs)))
     while not done.processed:
         nxt = soc.sim.peek()
         if nxt is None or nxt > cap:
             break
         soc.sim.step()
+    if max_cycles is not None and not done.processed:
+        raise SimulationStalled(_stall_diagnostic(chain, blocks, soc.sim.now))
     return SimulationRun(
         system=system, soc=soc, chain=chain, blocks=blocks,
         poll_interval=poll_interval, horizon=max(1, soc.sim.now),
+        injector=injector, watchdog=wd, admission=adm,
     )
+
+
+def _stall_diagnostic(chain: SharedChain, blocks: int, now: int) -> str:
+    """Name what is stuck: gateways, streams and channels with residue."""
+    entry, exit_gw = chain.entry, chain.exit
+    current = entry._current.name if entry._current is not None else None
+    active = exit_gw._active.name if exit_gw._active is not None else None
+    lines = [
+        f"simulation stalled at cycle {now} (max_cycles guard)",
+        f"  entry gateway: current stream={current}, "
+        f"idle tokens={entry.idle.count}, blocks admitted={entry.blocks_admitted}",
+        f"  exit gateway: active stream={active}, "
+        f"draining={exit_gw._draining}, discarded={exit_gw.discarded}",
+    ]
+    for name, b in chain.bindings.items():
+        if b.failed:
+            state = "FAILED"
+        elif b.paused_at is not None:
+            state = f"paused since cycle {b.paused_at}"
+        elif b.blocks_done < blocks:
+            state = "STALLED"
+        else:
+            state = "done"
+        lines.append(
+            f"  stream {name}: {b.blocks_done}/{blocks} blocks, "
+            f"in={b.samples_in} out={b.samples_out}, "
+            f"retries={b.retries}, {state}"
+        )
+    for ch in chain.channels:
+        if ch.buffered or ch.words_in_flight:
+            lines.append(
+                f"  channel {ch.name}: {ch.buffered} buffered, "
+                f"{ch.words_in_flight} in flight"
+            )
+    return "\n".join(lines)
 
 
 def _wait_for(signal: Signal, units: int):

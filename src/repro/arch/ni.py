@@ -48,6 +48,10 @@ class HardwareFifoChannel:
         self._buffer = FifoQueue(sim, capacity, name=f"{name}.buf")
         self.words_sent = 0
         self.words_received = 0
+        #: data flits posted but not yet landed in the consumer buffer
+        self.words_in_flight = 0
+        #: credit-return flits posted but not yet landed at the producer
+        self.credits_in_flight = 0
 
     # -- producer side ------------------------------------------------------
     def send(self, word: Any):
@@ -58,6 +62,7 @@ class HardwareFifoChannel:
         Credit accounting guarantees the buffer never overflows.
         """
         yield self._credits.acquire(1)
+        self.words_in_flight += 1
         accepted, _delivered = self.ring.post(
             self.src, self.dst, word, ring=DualRing.DATA, on_delivery=self._arrive
         )
@@ -67,6 +72,7 @@ class HardwareFifoChannel:
             self.tracer.log(self.sim.now, self.name, "send", word=word)
 
     def _arrive(self, word: Any) -> None:
+        self.words_in_flight -= 1
         if not self._buffer.try_put(word):
             raise SimulationError(
                 f"{self.name}: buffer overflow despite credits — protocol bug"
@@ -81,13 +87,67 @@ class HardwareFifoChannel:
         """Generator: pop the next word, then return a credit to the producer."""
         word = yield self._buffer.get()
         self.words_received += 1
-        self.ring.post(
-            self.dst, self.src, None, ring=DualRing.CREDIT,
-            on_delivery=lambda _p: self._credits.release(1),
-        )
+        self._return_credit()
         if self.tracer:
             self.tracer.log(self.sim.now, self.name, "recv", word=word)
         return word
+
+    def try_recv(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(ok, word)``; returns the credit on success.
+
+        Used by the exit gateway while draining an aborted block — stale
+        words must be consumed (and their credits returned) without blocking.
+        """
+        ok, word = self._buffer.try_get()
+        if not ok:
+            return False, None
+        self.words_received += 1
+        self._return_credit()
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, "recv", word=word)
+        return True, word
+
+    def _return_credit(self) -> None:
+        self.credits_in_flight += 1
+        self.ring.post(
+            self.dst, self.src, None, ring=DualRing.CREDIT,
+            on_delivery=self._credit_lands,
+        )
+
+    def _credit_lands(self, _payload: Any) -> None:
+        self.credits_in_flight -= 1
+        self._credits.release(1)
+
+    @property
+    def credits(self) -> int:
+        """Send credits currently held by the producer side."""
+        return self._credits.count
+
+    def repair(self, data_drops: int = 0, credit_drops: int = 0) -> int:
+        """Restore credits lost to faults or aborted transfers (recovery).
+
+        ``data_drops`` / ``credit_drops`` are flits confirmed dropped by the
+        fault injector; they are removed from the in-flight accounting, and
+        whatever the credit-conservation invariant
+        (``credits + buffered + in-flight = capacity``) still finds missing
+        — e.g. a waiter withdrawn mid-handshake during a watchdog flush —
+        is released back to the producer.  Returns the credits restored.
+        Only sound while the channel is quiescent (no live transfer racing
+        the accounting), i.e. from the entry gateway's recovery path.
+        """
+        self.words_in_flight -= min(data_drops, self.words_in_flight)
+        self.credits_in_flight -= min(credit_drops, self.credits_in_flight)
+        missing = (
+            self.capacity
+            - self._credits.count
+            - self._buffer.level
+            - self.words_in_flight
+            - self.credits_in_flight
+        )
+        if missing > 0:
+            self._credits.release(missing)
+            return missing
+        return 0
 
     @property
     def buffered(self) -> int:

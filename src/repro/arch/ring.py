@@ -81,6 +81,9 @@ class DualRing:
             self.CREDIT: [_Link(sim) for _ in range(self.n)],
         }
         self.flits_sent = {self.DATA: 0, self.CREDIT: 0}
+        self.flits_dropped = {self.DATA: 0, self.CREDIT: 0}
+        #: optional :class:`repro.sim.faults.FaultInjector` link-fault hook
+        self.fault_injector = None
 
     # -- helpers ----------------------------------------------------------
     def _check_station(self, station: int) -> None:
@@ -130,6 +133,11 @@ class DualRing:
         accepted = self.sim.event()
         delivered = self.sim.event()
         self.flits_sent[ring] += 1
+        injector = self.fault_injector
+        if injector is not None:
+            extra_delay, dropped = injector.ring_fault(ring, src, dst)
+        else:
+            extra_delay, dropped = 0, False
 
         def flit():
             first = True
@@ -138,6 +146,13 @@ class DualRing:
                 if first:
                     accepted.succeed()
                     first = False
+            if extra_delay:
+                yield self.sim.timeout(extra_delay)
+            if dropped:
+                # the flit is lost in transit; the producer's posted write
+                # already completed, so only delivery-side effects vanish
+                self.flits_dropped[ring] += 1
+                return
             if self.tracer:
                 self.tracer.log(self.sim.now, f"ring.{ring}", "deliver",
                                 src=src, dst=dst)

@@ -36,11 +36,13 @@ class SharedChain:
         exit_gw: ExitGateway,
         tiles: list[AcceleratorTile],
         bindings: list[StreamBinding],
+        channels: list[HardwareFifoChannel] | None = None,
     ) -> None:
         self.entry = entry
         self.exit = exit_gw
         self.tiles = tiles
         self.bindings = {b.name: b for b in bindings}
+        self.channels = channels or []
 
     def binding(self, name: str) -> StreamBinding:
         return self.bindings[name]
@@ -147,6 +149,9 @@ class MPSoC:
         poll_interval: int = 1,
         context_mode: str = "software",
         shadow_switch_cycles: int = 4,
+        watchdog: Any = None,
+        admission: Any = None,
+        fault_injector: Any = None,
     ) -> SharedChain:
         """Build a gateway pair sharing a chain of accelerator kernels.
 
@@ -163,6 +168,14 @@ class MPSoC:
 
         The chain's aggregate output ratio (e.g. 1/8 for one decimator)
         is computed from the kernels.
+
+        ``watchdog`` (a :class:`~repro.sim.faults.WatchdogConfig`) arms the
+        entry gateway's recovery path; ``admission`` (an
+        :class:`~repro.sim.faults.AdmissionController`) enables graceful
+        degradation; ``fault_injector`` (a
+        :class:`~repro.sim.faults.FaultInjector`) is wired into the ring,
+        the tiles and every stream C-FIFO.  All three default to ``None``,
+        leaving the fault-free construct cycle-for-cycle unchanged.
         """
         tracer = self.tracer if self.tracer.enabled else None
         kernels = list(kernels)
@@ -206,6 +219,14 @@ class MPSoC:
                 )
             )
 
+        if fault_injector is not None:
+            self.ring.fault_injector = fault_injector
+            for tile in tiles:
+                tile.fault_injector = fault_injector
+            for binding in bindings:
+                binding.in_fifo.fault_injector = fault_injector
+                binding.out_fifo.fault_injector = fault_injector
+
         idle = Signal(self.sim, initial=1, name=f"{name}.idle")
         exit_gw = ExitGateway(self.sim, f"{name}.exit", channels[-1], idle,
                               exit_copy=exit_copy, tracer=tracer)
@@ -213,9 +234,10 @@ class MPSoC:
             self.sim, f"{name}.entry", tiles, channels[0], exit_gw, bindings,
             self.config_bus, entry_copy=entry_copy, poll_interval=poll_interval,
             context_mode=context_mode, shadow_switch_cycles=shadow_switch_cycles,
-            tracer=tracer,
+            tracer=tracer, watchdog=watchdog, admission=admission,
+            fault_injector=fault_injector, channels=channels,
         )
-        return SharedChain(entry, exit_gw, tiles, bindings)
+        return SharedChain(entry, exit_gw, tiles, bindings, channels)
 
     # -- execution ------------------------------------------------------------
     def run(self, until: int) -> None:

@@ -26,14 +26,18 @@ from .blocksize_ilp import (
 )
 from .config_io import dump_system, load_system, system_from_dict, system_to_dict
 from .conformance import (
+    AttributedReport,
+    Attribution,
     ConformanceReport,
     StreamBounds,
     StreamConformance,
     Violation,
+    attribute_conformance,
     bounds_for,
     calibrated_system,
     check_conformance,
     check_stream,
+    violation_window,
 )
 from .design_flow import DesignReport, run_design_flow
 from .csdf_builder import StreamModelInfo, build_stream_csdf, measure_block_time
@@ -60,6 +64,8 @@ from .verification import StreamVerification, VerificationReport, verify_system
 __all__ = [
     "AcceleratorSpec",
     "Affine",
+    "AttributedReport",
+    "Attribution",
     "BlockSizeResult",
     "BufferOptimalResult",
     "ConformanceReport",
@@ -77,6 +83,7 @@ __all__ = [
     "Violation",
     "accelerator_utilization_gain",
     "analyze_utilization",
+    "attribute_conformance",
     "block_round_length",
     "bounds_for",
     "build_block_size_model",
@@ -105,4 +112,5 @@ __all__ = [
     "throughput_satisfied",
     "verify_system",
     "verify_with_sdf_model",
+    "violation_window",
 ]

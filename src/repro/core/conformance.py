@@ -38,10 +38,14 @@ __all__ = [
     "Violation",
     "StreamConformance",
     "ConformanceReport",
+    "Attribution",
+    "AttributedReport",
     "bounds_for",
     "check_stream",
     "check_conformance",
     "calibrated_system",
+    "attribute_conformance",
+    "violation_window",
 ]
 
 #: Calibration offsets measured on the cycle-level architecture model.
@@ -341,4 +345,153 @@ def check_conformance(
     """Check every stream's metrics against ``system``'s bounds."""
     return ConformanceReport(
         streams=tuple(check_stream(system, m, wait_slack=wait_slack) for m in metrics)
+    )
+
+
+# -- fault attribution -------------------------------------------------------
+#
+# Under fault injection, bound violations are *expected*; what matters is
+# that every violation can be traced back to an injected fault.  A violation
+# that no fault explains within its observation window is a genuine
+# refinement bug hiding behind the noise.
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """One violation paired with the injected faults that explain it."""
+
+    violation: Violation
+    #: cycle window the violated quantity was observed over (``hi`` may be
+    #: ``None`` for open-ended quantities such as throughput)
+    window: tuple[int, int | None]
+    #: injected-fault records (from ``FaultInjector.events``) active in the
+    #: window; empty means the violation is unexplained
+    causes: tuple[dict[str, Any], ...]
+
+    @property
+    def attributed(self) -> bool:
+        return bool(self.causes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "violation": self.violation.to_dict(),
+            "window": list(self.window),
+            "causes": [dict(c) for c in self.causes],
+            "attributed": self.attributed,
+        }
+
+
+@dataclass(frozen=True)
+class AttributedReport:
+    """A conformance report with every violation traced to its cause."""
+
+    report: ConformanceReport
+    attributions: tuple[Attribution, ...]
+    #: every injected-fault record considered (chronological)
+    injected: tuple[dict[str, Any], ...]
+
+    @property
+    def unattributed(self) -> tuple[Violation, ...]:
+        """Violations no injected fault explains — genuine refinement bugs."""
+        return tuple(a.violation for a in self.attributions if not a.attributed)
+
+    @property
+    def fully_attributed(self) -> bool:
+        return not self.unattributed
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.injected)} fault(s) injected, "
+            f"{len(self.attributions)} bound violation(s)"
+        ]
+        for a in self.attributions:
+            tag = ("<- " + ", ".join(sorted({c["kind"] for c in a.causes}))
+                   if a.attributed else "<- UNEXPLAINED")
+            lines.append(f"  {a.violation} {tag}")
+        if self.fully_attributed:
+            lines.append("every violation is attributed to an injected fault")
+        else:
+            lines.append(
+                f"*** {len(self.unattributed)} violation(s) have no injected "
+                "cause — possible refinement bug ***"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.report.ok,
+            "fully_attributed": self.fully_attributed,
+            "injected": [dict(e) for e in self.injected],
+            "attributions": [a.to_dict() for a in self.attributions],
+            "unattributed": [v.to_dict() for v in self.unattributed],
+        }
+
+
+def violation_window(
+    violation: Violation,
+    admissions: "list[int] | tuple[int, ...]",
+    completions: "list[int] | tuple[int, ...]",
+) -> tuple[int, int | None]:
+    """Cycle window over which a violated quantity was observed.
+
+    Mirrors how :func:`check_stream` computes each quantity from the
+    stream's admission/completion timestamps: block ``b``'s block time runs
+    admission→completion of ``b``, its wait runs completion of ``b−1`` →
+    admission of ``b``, its turnaround completion of ``b−1`` → completion
+    of ``b``; throughput spans the whole run.
+    """
+    b = violation.block_index
+    q = violation.quantity
+    if q == "block_time" and b is not None and b < len(completions):
+        return admissions[b], completions[b]
+    if q == "wait" and b is not None and 0 < b < len(admissions):
+        return completions[b - 1], admissions[b]
+    if q == "turnaround" and b is not None and 0 < b < len(completions):
+        return completions[b - 1], completions[b]
+    return 0, None  # throughput (or malformed index): the whole run
+
+
+def attribute_conformance(
+    report: ConformanceReport,
+    events: Iterable[dict[str, Any]],
+    spans: dict[str, Any],
+    pad: int = 0,
+    secondary: Iterable[dict[str, Any]] = (),
+) -> AttributedReport:
+    """Trace each of ``report``'s violations to the injected faults.
+
+    ``events`` are ``FaultInjector.events`` records (each with at least a
+    ``"time"`` key).  ``spans`` maps stream name → an object with
+    ``admissions``/``completions`` timestamp lists (a
+    :class:`~repro.arch.gateway.StreamBinding` qualifies) or a plain
+    ``(admissions, completions)`` pair.  A fault explains a violation when
+    it fired inside the violation's observation window, widened by ``pad``
+    cycles on the low side (faults propagate forward in time only).
+
+    ``secondary`` events (e.g. recovery-log records — a degrade/readmit
+    pause is fault fallout, not a refinement bug) may also explain a
+    violation but are not listed in :attr:`AttributedReport.injected`.
+    """
+    injected = tuple(events)
+    candidates = injected + tuple(secondary)
+    attributions = []
+    for violation in report.violations:
+        span = spans.get(violation.stream)
+        if span is None:
+            admissions: tuple[int, ...] = ()
+            completions: tuple[int, ...] = ()
+        elif hasattr(span, "admissions"):
+            admissions, completions = span.admissions, span.completions
+        else:
+            admissions, completions = span
+        lo, hi = violation_window(violation, admissions, completions)
+        causes = tuple(
+            e for e in candidates
+            if e["time"] >= lo - pad and (hi is None or e["time"] <= hi)
+        )
+        attributions.append(
+            Attribution(violation=violation, window=(lo, hi), causes=causes)
+        )
+    return AttributedReport(
+        report=report, attributions=tuple(attributions), injected=injected
     )

@@ -1,5 +1,14 @@
 """Discrete-event simulation kernel (cycle-level) used by :mod:`repro.arch`."""
 
+from .faults import (
+    AdmissionController,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    StreamRequirement,
+    WatchdogConfig,
+)
 from .kernel import (
     AllOf,
     AnyOf,
@@ -22,9 +31,14 @@ from .queues import FifoQueue, Signal
 from .trace import GanttRow, IntervalAccumulator, Kind, TraceRecord, Tracer
 
 __all__ = [
+    "AdmissionController",
     "AllOf",
     "AnyOf",
     "Event",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FifoQueue",
     "GanttRow",
     "GatewayUtilization",
@@ -36,9 +50,11 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "StreamMetrics",
+    "StreamRequirement",
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "WatchdogConfig",
     "gateway_utilization",
     "metrics_table",
     "observed_sample_latency",

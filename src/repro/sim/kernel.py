@@ -61,7 +61,8 @@ class Event:
     by ``yield``-ing them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed",
+                 "_cancelled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -70,6 +71,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -86,6 +88,11 @@ class Event:
     def ok(self) -> bool:
         """True when the event succeeded (vs. failed)."""
         return self._ok
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been withdrawn and will never fire."""
+        return self._cancelled
 
     @property
     def value(self) -> Any:
@@ -115,6 +122,19 @@ class Event:
         self.sim._schedule(self, delay)
         return self
 
+    def cancel(self) -> None:
+        """Withdraw the event: its callbacks will never run.
+
+        A scheduled event stays in the simulator heap but is skipped (lazy
+        deletion); an event queued as a waiter (e.g. a pending
+        :meth:`Signal.acquire`) is skipped by the owning primitive without
+        consuming any resource.  Cancelling an already-processed event is an
+        error — its callbacks have run.
+        """
+        if self._processed:
+            raise SimulationError("cannot cancel an already-processed event")
+        self._cancelled = True
+
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Register ``fn`` to run when the event fires (or immediately if done)."""
         if self.callbacks is None:
@@ -124,6 +144,8 @@ class Event:
             self.callbacks.append(fn)
 
     def _fire(self) -> None:
+        if self._cancelled:
+            return
         callbacks, self.callbacks = self.callbacks, None
         self._processed = True
         if callbacks:
@@ -188,6 +210,10 @@ class AnyOf(Event):
         self._events = list(events)
         for idx, ev in enumerate(self._events):
             ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+        if self._triggered:
+            # a constituent was already processed; reap timers registered
+            # after the winner resolved us
+            self._cancel_losers(None)
 
     def _on_child(self, idx: int, ev: Event) -> None:
         if self._triggered:
@@ -196,6 +222,22 @@ class AnyOf(Event):
             self.succeed((idx, ev.value))
         else:
             self.fail(ev.value)
+        self._cancel_losers(ev)
+
+    def _cancel_losers(self, winner: Event | None) -> None:
+        """Cancel losing constituent timers once the race is decided.
+
+        A stale Timeout must neither wake a process later nor keep the
+        event queue artificially non-empty.  Only sole-watcher timers are
+        withdrawn: a Timeout someone else also waits on must still fire.
+        """
+        for other in self._events:
+            if other is winner or not isinstance(other, Timeout):
+                continue
+            if other.processed or other.cancelled:
+                continue
+            if other.callbacks is not None and len(other.callbacks) == 1:
+                other.cancel()
 
 
 class Process(Event):
@@ -242,10 +284,21 @@ class Process(Event):
         waited = self._waiting_on
         self._waiting_on = None
         if waited is not None and not waited.processed:
-            # The detached event may still fire before the Interrupt below is
-            # delivered (both can land at the current instant); mark it stale
-            # so _resume swallows it instead of double-resuming the generator.
-            self._stale.add(waited)
+            sole = waited.callbacks is not None and len(waited.callbacks) == 1
+            if sole and (not waited.triggered or isinstance(waited, Timeout)):
+                # We were the sole watcher of a still-pending event (e.g. a
+                # queued Signal.acquire): withdraw it so it cannot consume a
+                # resource unit nobody will ever collect.  A Timeout counts
+                # as triggered from birth but holds no resource, so a
+                # sole-watched one is likewise safe to reclaim — leaving it
+                # would keep the heap (and the clock) running to its expiry.
+                waited.cancel()
+            else:
+                # The detached event may still fire before the Interrupt below
+                # is delivered (both can land at the current instant); mark it
+                # stale so _resume swallows it instead of double-resuming the
+                # generator.
+                self._stale.add(waited)
         # Deliver asynchronously so the interrupter keeps running first.
         ev = Event(self.sim)
         ev.succeed()
@@ -342,12 +395,19 @@ class Simulator:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         heapq.heappush(self._queue, (self.now + int(delay), next(self._seq), event))
 
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled events from the head of the queue (lazy deletion)."""
+        while self._queue and self._queue[0][2]._cancelled:
+            heapq.heappop(self._queue)
+
     def peek(self) -> int | None:
-        """Cycle of the next scheduled event, or None when idle."""
+        """Cycle of the next live scheduled event, or None when idle."""
+        self._purge_cancelled()
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
-        """Fire the single next event."""
+        """Fire the single next live event."""
+        self._purge_cancelled()
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         when, _seq, event = heapq.heappop(self._queue)
@@ -363,7 +423,7 @@ class Simulator:
         """
         if isinstance(until, Event):
             stop = until
-            while self._queue and not stop.processed:
+            while not stop.processed and self.peek() is not None:
                 self.step()
             if not stop.processed:
                 raise SimulationError(
@@ -376,10 +436,10 @@ class Simulator:
             horizon = int(until)
             if horizon < self.now:
                 raise SimulationError("cannot run backwards in time")
-            while self._queue and self._queue[0][0] <= horizon:
+            while (nxt := self.peek()) is not None and nxt <= horizon:
                 self.step()
             self.now = horizon
             return None
-        while self._queue:
+        while self.peek() is not None:
             self.step()
         return None

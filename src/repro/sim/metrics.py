@@ -65,6 +65,14 @@ class StreamMetrics:
     out_high_water: int | None
     worst_sample_latency: int | None = None
 
+    # -- recovery quantities (all zero/False on a fault-free run) --------
+    retries: int = 0
+    watchdog_timeouts: int = 0
+    recovery_cycles: int = 0
+    recovery_latencies: tuple[int, ...] = ()
+    degraded_cycles: int = 0
+    failed: bool = False
+
     # -- convenience aggregates -----------------------------------------
     @property
     def worst_block_time(self) -> int | None:
@@ -84,8 +92,37 @@ class StreamMetrics:
             return None
         return sum(self.block_times) / len(self.block_times)
 
+    @property
+    def recovered(self) -> bool:
+        """The stream hit a watchdog timeout but completed its run anyway."""
+        return self.watchdog_timeouts > 0 and not self.failed
+
+    @property
+    def worst_recovery_latency(self) -> int | None:
+        return max(self.recovery_latencies) if self.recovery_latencies else None
+
     def to_dict(self) -> dict[str, Any]:
-        """JSON-friendly representation (Fractions become floats)."""
+        """JSON-friendly representation (Fractions become floats).
+
+        Recovery quantities appear under a ``"recovery"`` key only when
+        something actually happened, keeping fault-free output identical
+        to the pre-recovery format.
+        """
+        out = self._base_dict()
+        if self.retries or self.watchdog_timeouts or self.degraded_cycles or self.failed:
+            out["recovery"] = {
+                "retries": self.retries,
+                "watchdog_timeouts": self.watchdog_timeouts,
+                "recovery_cycles": self.recovery_cycles,
+                "recovery_latencies": list(self.recovery_latencies),
+                "worst_recovery_latency": self.worst_recovery_latency,
+                "degraded_cycles": self.degraded_cycles,
+                "failed": self.failed,
+                "recovered": self.recovered,
+            }
+        return out
+
+    def _base_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "eta": self.eta,
@@ -182,6 +219,12 @@ def stream_metrics(binding: Any, tracer: Tracer | None = None) -> StreamMetrics:
         in_high_water=getattr(getattr(binding, "in_fifo", None), "high_water", None),
         out_high_water=getattr(getattr(binding, "out_fifo", None), "high_water", None),
         worst_sample_latency=latency,
+        retries=getattr(binding, "retries", 0),
+        watchdog_timeouts=getattr(binding, "watchdog_timeouts", 0),
+        recovery_cycles=getattr(binding, "recovery_cycles", 0),
+        recovery_latencies=tuple(getattr(binding, "recovery_latencies", ())),
+        degraded_cycles=getattr(binding, "degraded_cycles", 0),
+        failed=getattr(binding, "failed", False),
     )
 
 

@@ -62,8 +62,17 @@ class FifoQueue:
         return self.capacity - len(self._items)
 
     # -- operations --------------------------------------------------------
+    def _purge_getters(self) -> None:
+        while self._getters and self._getters[0].cancelled:
+            self._getters.popleft()
+
+    def _purge_putters(self) -> None:
+        while self._putters and self._putters[0][0].cancelled:
+            self._putters.popleft()
+
     def put(self, item: Any) -> Event:
         """Return an event that fires once ``item`` has been accepted."""
+        self._purge_getters()
         ev = self.sim.event()
         if self._getters and not self._items:
             # Hand over directly to the longest-waiting getter.
@@ -94,6 +103,7 @@ class FifoQueue:
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False when the FIFO is full."""
+        self._purge_getters()
         if self._getters and not self._items:
             getter = self._getters.popleft()
             self.total_put += 1
@@ -116,11 +126,13 @@ class FifoQueue:
         return False, None
 
     def _drain_putters(self) -> None:
+        self._purge_putters()
         while self._putters and len(self._items) < self.capacity:
             ev, item = self._putters.popleft()
             self._items.append(item)
             self.total_put += 1
             ev.succeed()
+            self._purge_putters()
 
 
 class Signal:
@@ -143,21 +155,28 @@ class Signal:
         """Units currently available."""
         return self._count
 
+    def _purge_waiters(self) -> None:
+        while self._waiters and self._waiters[0][0].cancelled:
+            self._waiters.popleft()
+
     def release(self, units: int = 1) -> None:
         """Add ``units`` and wake waiters whose demand is now met (in order)."""
         if units <= 0:
             raise SimulationError(f"release units must be positive, got {units}")
         self._count += units
         # FIFO service discipline: head-of-line waiter must be satisfiable.
+        self._purge_waiters()
         while self._waiters and self._waiters[0][1] <= self._count:
             ev, need = self._waiters.popleft()
             self._count -= need
             ev.succeed(need)
+            self._purge_waiters()
 
     def acquire(self, units: int = 1) -> Event:
         """Return an event firing once ``units`` are granted to the caller."""
         if units <= 0:
             raise SimulationError(f"acquire units must be positive, got {units}")
+        self._purge_waiters()
         ev = self.sim.event()
         if not self._waiters and self._count >= units:
             self._count -= units
@@ -170,6 +189,7 @@ class Signal:
         """Non-blocking acquire; only succeeds when no one is queued ahead."""
         if units <= 0:
             raise SimulationError(f"acquire units must be positive, got {units}")
+        self._purge_waiters()
         if not self._waiters and self._count >= units:
             self._count -= units
             return True

@@ -42,8 +42,23 @@ class Kind:
     DELIVER = "deliver"            # ring flit delivery
     TASK_DONE = "task_done"        # processor task completion
 
+    # -- robustness vocabulary (fault injection & recovery) --------------
+    FAULT = "fault"                        # injector armed a fault
+    WATCHDOG = "watchdog_timeout"          # entry-gateway watchdog expired
+    RETRY = "retry"                        # block retransmission scheduled
+    RECOVERED = "recovered"                # block completed after >=1 retry
+    DEGRADE = "degrade"                    # stream paused by admission control
+    READMIT = "readmit"                    # paused stream re-admitted
+    RESYNC = "resync"                      # lost credits/pointers repaired
+    STREAM_FAILED = "stream_failed"        # retry cap exhausted, stream dropped
+
+    #: robustness kinds (fault/recovery bookkeeping)
+    ROBUSTNESS = frozenset(
+        {FAULT, WATCHDOG, RETRY, RECOVERED, DEGRADE, READMIT, RESYNC, STREAM_FAILED}
+    )
+
     #: kinds sufficient for metrics/conformance work (cheap to keep)
-    METRICS = frozenset({ADMIT, RECONFIGURE, COPY, BLOCK_DONE, PUT, GET})
+    METRICS = frozenset({ADMIT, RECONFIGURE, COPY, BLOCK_DONE, PUT, GET}) | ROBUSTNESS
 
 
 @dataclass(frozen=True)

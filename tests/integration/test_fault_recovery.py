@@ -1,0 +1,203 @@
+"""End-to-end fault injection, watchdog recovery and graceful degradation.
+
+Each test drives `simulate_system` with a seeded `FaultPlan` and asserts
+the recovery contract: every injected fault is attributed, every stream
+either recovers (exactly-once delivery — no lost or duplicated samples)
+or is explicitly failed/degraded, and a fault-free (empty) plan leaves
+the run bit-identical to one without any fault machinery.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arch import SimulationStalled, simulate_system
+from repro.core import (
+    AcceleratorSpec,
+    GatewaySystem,
+    StreamSpec,
+    compute_block_sizes,
+)
+from repro.sim.faults import (
+    ACCEL_STALL,
+    CFIFO_PTR_LOSS,
+    RECONFIG_FAIL,
+    RING_DROP,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def two_stream_system():
+    sys_ = GatewaySystem(
+        accelerators=(AcceleratorSpec("acc0", 1), AcceleratorSpec("acc1", 1)),
+        streams=(StreamSpec("pal", Fraction(1, 120), 410),
+                 StreamSpec("ntsc", Fraction(1, 150), 410)),
+    )
+    return sys_.with_block_sizes(compute_block_sizes(sys_).block_sizes)
+
+
+def assert_exactly_once(run, blocks):
+    """Every non-failed stream delivered each output sample exactly once."""
+    for name, b in run.chain.bindings.items():
+        if b.failed:
+            continue
+        assert b.blocks_done == blocks, f"{name}: {b.blocks_done}/{blocks}"
+        assert b.samples_out == b.expected_out * blocks, name
+        assert b.samples_in == b.eta * blocks, name
+
+
+# -- empty plan: bit-identical to the fault-free run ------------------------
+
+def test_empty_plan_is_bit_identical():
+    sys_ = two_stream_system()
+    plain = simulate_system(sys_, blocks=3)
+    empty = simulate_system(sys_, blocks=3, faults=FaultPlan())
+    assert empty.injector is None and empty.watchdog is None
+    assert plain.horizon == empty.horizon
+    assert ({n: m.to_dict() for n, m in plain.metrics().items()}
+            == {n: m.to_dict() for n, m in empty.metrics().items()})
+    assert (plain.conformance().to_dict() == empty.conformance().to_dict())
+    report = empty.fault_report()
+    assert report["injected"] == [] and report["fully_attributed"]
+
+
+# -- recoverable faults -----------------------------------------------------
+
+def test_accel_stall_recovers_with_exactly_once_delivery():
+    sys_ = two_stream_system()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=ACCEL_STALL, at=1000, target="sys.acc0",
+                  duration=2000, extra=1500, count=1),
+    ), seed=7)
+    run = simulate_system(sys_, blocks=4, faults=plan)
+    report = run.fault_report()
+    assert len(report["injected"]) == 1
+    pal = report["streams"]["pal"]
+    assert pal["watchdog_timeouts"] >= 1 and pal["recovered"]
+    assert not pal["failed"]
+    assert_exactly_once(run, blocks=4)
+    assert report["fully_attributed"], report["unattributed"]
+    # the retransmission reproduced the identical output prefix: the
+    # consumer-facing sample count has no duplicates (checked above) and
+    # the exit gateway discarded the replayed prefix
+    assert run.chain.exit.discarded > 0
+
+
+def test_accel_stall_recovery_is_deterministic():
+    sys_ = two_stream_system()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=ACCEL_STALL, at=1000, target="sys.acc0",
+                  duration=2000, extra=1500, count=1),
+    ), seed=7)
+    a = simulate_system(sys_, blocks=4, faults=plan)
+    b = simulate_system(sys_, blocks=4, faults=plan)
+    assert a.horizon == b.horizon
+    assert ({n: m.to_dict() for n, m in a.metrics().items()}
+            == {n: m.to_dict() for n, m in b.metrics().items()})
+    assert a.injector.events == b.injector.events
+
+
+def test_ring_drop_on_chain_channel_recovers():
+    sys_ = two_stream_system()
+    # stations: prod=0 cons=1 entry=2 acc0=3 acc1=4 exit=5; drop a data
+    # flit on the acc1 -> exit hardware channel
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=RING_DROP, at=400, duration=2000, ring="data",
+                  src=4, dst=5, count=1),
+    ), seed=3)
+    run = simulate_system(sys_, blocks=4, faults=plan)
+    report = run.fault_report()
+    assert len(report["injected"]) == 1
+    assert_exactly_once(run, blocks=4)
+    assert report["fully_attributed"]
+    # the lost word forced a watchdog flush + credit repair somewhere
+    assert any(s["watchdog_timeouts"] for s in report["streams"].values())
+
+
+def test_cfifo_pointer_loss_is_resynced():
+    sys_ = two_stream_system()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=CFIFO_PTR_LOSS, at=0, duration=5000,
+                  target="pal.in", side="read", count=2),
+    ), seed=1)
+    run = simulate_system(sys_, blocks=4, faults=plan)
+    report = run.fault_report()
+    assert len(report["injected"]) == 2
+    assert_exactly_once(run, blocks=4)
+    # lost read-pointer updates leak producer space until a resync repays it;
+    # with ample FIFO headroom the streams themselves never even time out
+    fifo = run.chain.bindings["pal"].in_fifo
+    assert fifo.words_got == fifo.words_put
+    assert report["fully_attributed"]
+
+
+def test_reconfig_failure_retries_transparently():
+    sys_ = two_stream_system()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=RECONFIG_FAIL, at=0, duration=100_000,
+                  target="ntsc", count=3),
+    ), seed=2)
+    run = simulate_system(sys_, blocks=4, faults=plan)
+    report = run.fault_report()
+    assert len(report["injected"]) == 3
+    assert_exactly_once(run, blocks=4)
+    # retried reconfigurations cost extra bus cycles, visible in the split
+    assert run.chain.entry.reconfig_cycles > 0
+    assert report["fully_attributed"]
+
+
+# -- unrecoverable faults: explicit degradation -----------------------------
+
+def test_unrecoverable_stall_fails_stream_but_spares_the_rest():
+    sys_ = two_stream_system()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=ACCEL_STALL, at=1000, target="sys.acc0",
+                  duration=2000, extra=20_000, count=1),
+    ), seed=7)
+    run = simulate_system(sys_, blocks=4, faults=plan)
+    report = run.fault_report()
+    streams = report["streams"]
+    failed = [n for n, s in streams.items() if s["failed"]]
+    assert len(failed) == 1
+    survivor = next(n for n in streams if n not in failed)
+    assert streams[survivor]["blocks_done"] == 4
+    assert not streams[survivor]["failed"]
+    assert_exactly_once(run, blocks=4)  # skips the failed stream
+    kinds = [r["kind"] for r in report["recovery_log"]]
+    assert "watchdog_timeout" in kinds and "stream_failed" in kinds
+
+
+def test_degradation_pauses_and_readmits_low_priority_stream():
+    sys_ = two_stream_system()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=ACCEL_STALL, at=1000, target="sys.acc0",
+                  duration=2000, extra=1500, count=1),
+    ), seed=7)
+    run = simulate_system(sys_, blocks=4, faults=plan)
+    report = run.fault_report()
+    kinds = [r["kind"] for r in report["recovery_log"]]
+    # the recovery overhead broke Eq. 5 for the round: the lowest-priority
+    # stream was paused and later re-admitted after a healthy window
+    assert "degrade" in kinds and "readmit" in kinds
+    degraded = [s for s in report["streams"].values() if s["degraded_cycles"]]
+    assert degraded and all(not s["failed"] for s in degraded)
+    assert_exactly_once(run, blocks=4)
+
+
+# -- deadlock guard ---------------------------------------------------------
+
+def test_max_cycles_raises_with_diagnostic():
+    sys_ = two_stream_system()
+    with pytest.raises(SimulationStalled) as err:
+        simulate_system(sys_, blocks=4, max_cycles=500)
+    msg = str(err.value)
+    assert "stalled at cycle" in msg
+    assert "entry gateway" in msg and "exit gateway" in msg
+    assert "pal" in msg and "ntsc" in msg
+
+
+def test_max_cycles_generous_cap_is_silent():
+    sys_ = two_stream_system()
+    run = simulate_system(sys_, blocks=2, max_cycles=10_000_000)
+    assert_exactly_once(run, blocks=2)

@@ -1,0 +1,169 @@
+"""Error-path coverage: every GatewayError / RingError raising condition.
+
+The recovery subsystem leans on these errors to distinguish "a fault was
+injected" from "the protocol itself is being misused"; each raise site
+gets a dedicated test so a refactor cannot silently drop one.
+"""
+
+import pytest
+
+from repro.accel import MixerKernel
+from repro.arch import (
+    DualRing,
+    EntryGateway,
+    ExitGateway,
+    GatewayError,
+    HardwareFifoChannel,
+    MPSoC,
+    RingError,
+    StreamBinding,
+)
+from repro.sim import Signal, SimulationError, Simulator
+
+
+# ------------------------------------------------------------------ ring
+def test_ring_rejects_single_station():
+    with pytest.raises(RingError, match="at least two stations"):
+        DualRing(Simulator(), 1)
+
+
+def test_ring_rejects_zero_hop_latency():
+    with pytest.raises(RingError, match="hop latency"):
+        DualRing(Simulator(), 4, hop_latency=0)
+
+
+def test_ring_rejects_station_out_of_range():
+    ring = DualRing(Simulator(), 4)
+    with pytest.raises(RingError, match="outside ring"):
+        ring.hops(0, 4, DualRing.DATA)
+    with pytest.raises(RingError, match="outside ring"):
+        ring.post(5, 1, None)
+
+
+def test_ring_rejects_self_loop():
+    ring = DualRing(Simulator(), 4)
+    with pytest.raises(RingError, match="must differ"):
+        ring.post(2, 2, None)
+
+
+def test_ring_rejects_unknown_ring_name():
+    ring = DualRing(Simulator(), 4)
+    with pytest.raises(RingError, match="unknown ring"):
+        ring.hops(0, 1, "sideband")
+
+
+# ---------------------------------------------------------------- bindings
+def fifo_pair(soc):
+    return soc.software_fifo(0, 1, 8, "in"), soc.software_fifo(1, 0, 8, "out")
+
+
+def test_binding_rejects_zero_eta():
+    soc = MPSoC(n_stations=4)
+    fin, fout = fifo_pair(soc)
+    with pytest.raises(GatewayError, match="block size"):
+        StreamBinding("s", 0, fin, fout, [])
+
+
+def test_binding_rejects_fractional_output_block():
+    from fractions import Fraction
+
+    soc = MPSoC(n_stations=4)
+    fin, fout = fifo_pair(soc)
+    with pytest.raises(GatewayError, match="whole output block"):
+        StreamBinding("s", 3, fin, fout, [], output_ratio=Fraction(1, 2))
+
+
+# ---------------------------------------------------------------- gateways
+def gateway_parts():
+    """Minimal real parts for exercising EntryGateway constructor errors."""
+    soc = MPSoC(n_stations=6)
+    chain = soc.shared_chain("c", [MixerKernel(0.0)], [{
+        "name": "s0", "eta": 2,
+        "in_fifo": soc.software_fifo(0, 2, 8, "in"),
+        "out_fifo": soc.software_fifo(4, 1, 8, "out"),
+        "states": [MixerKernel(0.0).get_state()],
+        "reconfigure_cycles": 10,
+    }])
+    return soc, chain
+
+
+def entry_kwargs(soc, chain, **overrides):
+    kwargs = dict(
+        sim=soc.sim,
+        name="e2",
+        tiles=chain.tiles,
+        chain_input=chain.tiles[0].input,
+        exit_gateway=chain.exit,
+        bindings=list(chain.bindings.values()),
+        config_bus=soc.config_bus,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def test_entry_needs_bindings():
+    soc, chain = gateway_parts()
+    with pytest.raises(GatewayError, match="at least one stream"):
+        EntryGateway(**entry_kwargs(soc, chain, bindings=[]))
+
+
+def test_entry_rejects_unknown_context_mode():
+    soc, chain = gateway_parts()
+    with pytest.raises(GatewayError, match="context_mode"):
+        EntryGateway(**entry_kwargs(soc, chain, context_mode="telepathy"))
+
+
+def test_entry_rejects_zero_shadow_switch():
+    soc, chain = gateway_parts()
+    with pytest.raises(GatewayError, match="shadow switch"):
+        EntryGateway(**entry_kwargs(soc, chain, shadow_switch_cycles=0))
+
+
+def test_entry_rejects_context_count_mismatch():
+    soc, chain = gateway_parts()
+    binding = next(iter(chain.bindings.values()))
+    bad = StreamBinding("bad", 2, binding.in_fifo, binding.out_fifo,
+                        states=[])  # 0 contexts for 1 tile
+    with pytest.raises(GatewayError, match="contexts for"):
+        EntryGateway(**entry_kwargs(soc, chain, bindings=[bad]))
+
+
+def test_exit_rejects_block_flood():
+    sim = Simulator()
+    ring = DualRing(sim, 4)
+    channel = HardwareFifoChannel(sim, ring, 2, 3, capacity=2)
+    idle = Signal(sim, initial=1)
+    gw = ExitGateway(sim, "x", channel, idle)
+    binding = StreamBinding(
+        "s", 1,
+        in_fifo=_DummyFifo(), out_fifo=_DummyFifo(), states=[],
+    )
+    for _ in range(4):  # queue capacity
+        gw.begin_block(binding)
+    with pytest.raises(GatewayError, match="too many blocks in flight"):
+        gw.begin_block(binding)
+
+
+class _DummyFifo:
+    name = "dummy"
+    high_water = 0
+
+
+# ------------------------------------------------------------- tile guards
+def test_tile_rejects_context_ops_while_busy():
+    soc, chain = gateway_parts()
+    tile = chain.tiles[0]
+    tile.busy = True
+    with pytest.raises(SimulationError, match="corrupt"):
+        tile.save_state()
+    with pytest.raises(SimulationError, match="corrupt"):
+        tile.load_state({})
+    with pytest.raises(SimulationError, match="corrupt"):
+        tile.activate_shadow(None, "s0")
+
+
+def test_tile_shadow_needs_installed_context():
+    soc, chain = gateway_parts()
+    tile = chain.tiles[0]
+    with pytest.raises(SimulationError, match="no shadow context"):
+        tile.activate_shadow(None, "never-installed")

@@ -388,3 +388,94 @@ def test_all_of_already_processed_successes_fire_immediately():
     sim.process(proc())
     sim.run()
     assert got == [(2, ["a", "b"])]
+
+
+def test_any_of_cancels_losing_timeout():
+    """The losing timer of an any_of must not keep the simulation alive."""
+    sim = Simulator()
+    got = []
+
+    def proc():
+        idx, val = yield sim.any_of([sim.timeout(2, "fast"),
+                                     sim.timeout(10_000, "slow")])
+        got.append((sim.now, idx, val))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(2, 0, "fast")]
+    # the 10_000-cycle loser was cancelled, not left to run the clock out
+    assert sim.now == 2
+    assert sim.peek() is None
+
+
+def test_any_of_does_not_cancel_watched_timeout():
+    """A loser someone else also waits on must still fire."""
+    sim = Simulator()
+    slow = sim.timeout(50, "slow")
+    got = []
+
+    def racer():
+        idx, val = yield sim.any_of([sim.timeout(2, "fast"), slow])
+        got.append(("race", sim.now, val))
+
+    def watcher():
+        val = yield slow
+        got.append(("watch", sim.now, val))
+
+    sim.process(racer())
+    sim.process(watcher())
+    sim.run()
+    assert ("race", 2, "fast") in got
+    assert ("watch", 50, "slow") in got
+
+
+def test_any_of_with_already_processed_winner_reaps_fresh_timer():
+    """A timer registered after a constituent already resolved is cancelled."""
+    sim = Simulator()
+    done = sim.timeout(1, "done")
+    sim.run()
+    assert done.processed
+    got = []
+
+    def proc():
+        idx, val = yield sim.any_of([done, sim.timeout(9_999, "loser")])
+        got.append((sim.now, idx, val))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(1, 0, "done")]
+    assert sim.peek() is None  # the 9_999 timer is gone from the queue
+
+
+def test_cancelled_event_cannot_fire_or_recancel():
+    sim = Simulator()
+    t = sim.timeout(5)
+    t.cancel()
+    assert t.cancelled
+    sim.run()
+    assert sim.now == 0 and not t.processed
+    winner = sim.timeout(1)
+    sim.run()
+    with pytest.raises(SimulationError):
+        winner.cancel()  # already processed
+
+
+def test_interrupt_cancels_sole_watched_timer():
+    """Interrupting a process waiting on its own timer reclaims the timer."""
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(10_000)
+        except Interrupt:
+            yield sim.timeout(1)
+
+    p = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(3)
+        p.interrupt("wake")
+
+    sim.process(killer())
+    sim.run()
+    assert sim.now == 4  # not 10_000: the orphaned timer was cancelled
