@@ -11,6 +11,8 @@ Usage::
     python -m repro analyze CONFIG.json
     python -m repro metrics CONFIG.json [--blocks N] [--json]
     python -m repro conformance CONFIG.json [--blocks N] [--json] [--uncalibrated]
+    python -m repro faults CONFIG.json --plan PLAN.json [--blocks N] [--json]
+    python -m repro reconfig CONFIG.json --plan PLAN.json [--spares N] [--json]
 
 Each subcommand prints one reproduced artefact; together they cover the
 evaluation section.  `pytest benchmarks/ --benchmark-only -s` runs the full
@@ -18,6 +20,10 @@ harness with assertions.  ``metrics`` and ``conformance`` run the
 cycle-level architecture simulation on a JSON system description and report
 observed per-stream runtime metrics, respectively the observed-vs-bound
 (Eq. 2–5) margins; ``conformance`` exits non-zero on any bound violation.
+``faults`` replays a fault-injection plan and prints the recovery report;
+``reconfig`` drives runtime reconfiguration — stream joins/leaves and
+spare-tile failover — and checks the per-mode bounds, exiting non-zero on
+unattributed violations or a transition-budget overrun.
 """
 
 from __future__ import annotations
@@ -216,14 +222,42 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_faults(args: argparse.Namespace) -> int:
-    """Simulate a JSON gateway system under a fault plan; report recovery."""
+def _load_fault_plan(path: str):
+    """Parse + validate a fault-plan JSON, or print a friendly error.
+
+    Returns the :class:`~repro.sim.faults.FaultPlan`, or ``None`` after
+    printing what was wrong (malformed JSON, unknown fault kind, missing
+    fields) — the caller exits with status 2 instead of a traceback.
+    """
     import json
     from pathlib import Path
 
-    from .sim.faults import FaultPlan
+    from .sim.faults import FAULT_KINDS, FaultError, FaultPlan
 
-    plan = FaultPlan.from_json(Path(args.plan).read_text())
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        print(f"error: cannot read fault plan {path}: {exc}", file=sys.stderr)
+        return None
+    try:
+        return FaultPlan.from_json(text)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return None
+    except FaultError as exc:
+        print(f"error: invalid fault plan {path}: {exc}", file=sys.stderr)
+        print(f"valid fault kinds: {', '.join(sorted(FAULT_KINDS))}",
+              file=sys.stderr)
+        return None
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Simulate a JSON gateway system under a fault plan; report recovery."""
+    import json
+
+    plan = _load_fault_plan(args.plan)
+    if plan is None:
+        return 2
     kwargs = {"faults": plan}
     if args.max_cycles is not None:
         kwargs["max_cycles"] = args.max_cycles
@@ -253,6 +287,64 @@ def cmd_faults(args: argparse.Namespace) -> int:
     attributed = run.attributed_conformance()
     print(attributed.summary())
     return 0 if attributed.fully_attributed else 1
+
+
+def cmd_reconfig(args: argparse.Namespace) -> int:
+    """Run a churn plan (joins/leaves/tile failures) with live reconfiguration."""
+    import json
+
+    plan = _load_fault_plan(args.plan)
+    if plan is None:
+        return 2
+    kwargs = {"faults": plan, "spares": args.spares}
+    if args.max_cycles is not None:
+        kwargs["max_cycles"] = args.max_cycles
+    run = _simulated_run(args, **kwargs)
+    rm = run.reconfig
+    if rm is None:
+        print("plan has no stream joins/leaves and no spares were "
+              "provisioned; nothing to reconfigure (use --spares to arm "
+              "tile-failure failover)", file=sys.stderr)
+        return 2
+
+    modal = run.mode_conformance()
+    attributed = run.attributed_conformance()
+    ok_budget = all(t.within_budget for t in rm.accepted)
+
+    if args.json:
+        print(json.dumps({
+            "horizon": run.horizon,
+            "transitions": [t.to_dict() for t in rm.transitions],
+            "remaps": list(run.chain.remaps),
+            "modes": modal.to_dict(),
+            "fully_attributed": attributed.fully_attributed,
+        }, indent=2))
+        return 0 if attributed.fully_attributed and ok_budget else 1
+
+    print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles "
+          f"with {len(plan)} scheduled event(s), {args.spares} spare tile(s)")
+    print()
+    if not rm.transitions:
+        print("no mode transitions occurred")
+    else:
+        print(f"{'#':>2} {'trigger':<14} {'detail':<24} {'at':>8} "
+              f"{'latency':>8} {'budget':>8} {'verdict':>10}")
+        for t in rm.transitions:
+            verdict = ("refused" if not t.accepted
+                       else "OK" if t.within_budget else "OVERRUN")
+            detail = t.detail if t.accepted else f"{t.detail} ({t.reason})"
+            print(f"{t.index:>2} {t.trigger:<14} {detail:<24} "
+                  f"{t.requested_at:>8} {t.latency:>8} {t.budget:>8} "
+                  f"{verdict:>10}")
+    if run.chain.remaps:
+        print()
+        print("tile remaps: " + ", ".join(f"{a}->{b}"
+                                          for a, b in run.chain.remaps))
+    print()
+    print(modal.summary())
+    print()
+    print(attributed.summary())
+    return 0 if attributed.fully_attributed and ok_budget else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -324,6 +416,23 @@ def main(argv: list[str] | None = None) -> int:
                    help="hard cycle cap; stalling past it is an error")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "reconfig",
+        help="simulate a churn plan (stream joins/leaves, tile failures) "
+             "with runtime reconfiguration",
+    )
+    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    p.add_argument("--plan", required=True,
+                   help="path to a churn/fault-plan JSON (see repro.sim.faults)")
+    p.add_argument("--spares", type=int, default=0,
+                   help="dormant spare accelerator tiles for failover")
+    p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
+    p.add_argument("--blocks", type=int, default=8, help="blocks per stream")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="hard cycle cap; stalling past it is an error")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_reconfig)
 
     args = parser.parse_args(argv)
     return args.fn(args)

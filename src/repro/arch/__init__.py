@@ -15,6 +15,7 @@ from .harness import SimulationRun, SimulationStalled, simulate_system
 from .ni import HardwareFifoChannel
 from .processor import ProcessorTile
 from .program import BuiltProgram, ProgramError, StreamProgram
+from .reconfig import ModeTransition, ReconfigurationManager
 from .ring import DualRing, RingError
 from .scheduler import BudgetScheduler, Compute, Get, Put, Sleep, TaskSpec
 from .system import MPSoC, SharedChain
@@ -35,8 +36,10 @@ __all__ = [
     "Get",
     "HardwareFifoChannel",
     "MPSoC",
+    "ModeTransition",
     "ProcessorTile",
     "Put",
+    "ReconfigurationManager",
     "RingError",
     "SharedChain",
     "SimulationRun",

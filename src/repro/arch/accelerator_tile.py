@@ -19,22 +19,31 @@ from __future__ import annotations
 from typing import Any
 
 from ..accel.base import StreamKernel
-from ..sim import SimulationError, Simulator, Tracer
+from ..sim import Interrupt, SimulationError, Simulator, Tracer
 from .ni import HardwareFifoChannel
 
 __all__ = ["AcceleratorTile"]
 
 
 class AcceleratorTile:
-    """A stream kernel mounted on the ring between two hardware FIFOs."""
+    """A stream kernel mounted on the ring between two hardware FIFOs.
+
+    A tile may be built *dormant* (``kernel=None``): a powered-down cold
+    spare with no channels and no running process.  :meth:`adopt` brings it
+    online in a failed tile's place — it inherits the kernel (the
+    computation state survives; only the tile hardware died) and the failed
+    tile's channel endpoints.  :meth:`fail_permanently` is the other
+    direction: the tile dies for good, its process exits, and it never
+    consumes input again.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         name: str,
-        kernel: StreamKernel,
-        input_channel: HardwareFifoChannel,
-        output_channel: HardwareFifoChannel,
+        kernel: StreamKernel | None = None,
+        input_channel: HardwareFifoChannel | None = None,
+        output_channel: HardwareFifoChannel | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
@@ -48,32 +57,102 @@ class AcceleratorTile:
         self.busy = False
         #: outputs computed but not yet pushed into the outgoing channel
         self.pending_out = 0
+        #: permanently failed — the tile's process has exited for good
+        self.dead = False
         #: optional :class:`repro.sim.faults.FaultInjector` stall hook
         self.fault_injector = None
+        #: called with this tile when it fails permanently (failover hook)
+        self.on_permanent_failure = None
         self._shadow_bank: dict[str, dict[str, Any]] = {}
-        self._process = sim.process(self._run(), name=f"acc:{name}")
+        self._process = None
+        if kernel is not None:
+            if input_channel is None or output_channel is None:
+                raise SimulationError(
+                    f"{name}: an active tile needs both channel endpoints"
+                )
+            self._process = sim.process(self._run(), name=f"acc:{name}")
+
+    @property
+    def dormant(self) -> bool:
+        """A cold spare: built without a kernel and not yet adopted."""
+        return self.kernel is None and not self.dead
+
+    def adopt(
+        self,
+        kernel: StreamKernel,
+        input_channel: HardwareFifoChannel,
+        output_channel: HardwareFifoChannel,
+        shadow_bank: dict[str, dict[str, Any]] | None = None,
+    ) -> None:
+        """Bring a dormant spare online in a failed tile's chain position."""
+        if not self.dormant:
+            raise SimulationError(
+                f"{self.name}: only a dormant spare can adopt a chain position"
+            )
+        self.kernel = kernel
+        self.input = input_channel
+        self.output = output_channel
+        if shadow_bank:
+            self._shadow_bank = dict(shadow_bank)
+        self._process = self.sim.process(self._run(), name=f"acc:{self.name}")
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, "adopt",
+                            input=input_channel.name, output=output_channel.name)
+
+    def fail_permanently(self) -> None:
+        """Mark the tile dead; its process exits at the next firing check.
+
+        The word being consumed when the failure strikes is lost — the
+        watchdog/retransmission path replays the block once the chain is
+        remapped onto a spare.
+        """
+        already_dead = self.dead
+        self.dead = True
+        self.busy = False
+        self.pending_out = 0
+        if self.tracer:
+            self.tracer.log(self.sim.now, self.name, "tile_failed")
+        if self._process is not None and self._process.is_alive:
+            # unblock a process parked in recv(); its loop exits on the
+            # Interrupt instead of stealing one more word from the channel
+            self._process.interrupt("tile-failure")
+        if not already_dead and self.on_permanent_failure is not None:
+            self.on_permanent_failure(self)
 
     def _run(self):
-        while True:
-            word = yield from self.input.recv()
-            self.busy = True
-            if self.kernel.rho:
-                yield self.sim.timeout(self.kernel.rho)
-            if self.fault_injector is not None:
-                extra = self.fault_injector.accel_extra(self.name)
-                if extra:
-                    yield self.sim.timeout(extra)
-            outputs = self.kernel.process(word)
-            self.samples_in += 1
-            self.busy = False
-            if self.tracer:
-                self.tracer.log(self.sim.now, self.name, "fire",
-                                produced=len(outputs))
-            self.pending_out = len(outputs)
-            for out in outputs:
-                yield from self.output.send(out)
-                self.samples_out += 1
-                self.pending_out -= 1
+        try:
+            while True:
+                word = yield from self.input.recv()
+                if self.dead:
+                    return
+                if (
+                    self.fault_injector is not None
+                    and self.fault_injector.tile_fails(self.name)
+                ):
+                    # the received word dies with the tile
+                    self.fail_permanently()
+                    return
+                self.busy = True
+                if self.kernel.rho:
+                    yield self.sim.timeout(self.kernel.rho)
+                if self.fault_injector is not None:
+                    extra = self.fault_injector.accel_extra(self.name)
+                    if extra:
+                        yield self.sim.timeout(extra)
+                outputs = self.kernel.process(word)
+                self.samples_in += 1
+                self.busy = False
+                if self.tracer:
+                    self.tracer.log(self.sim.now, self.name, "fire",
+                                    produced=len(outputs))
+                self.pending_out = len(outputs)
+                for out in outputs:
+                    yield from self.output.send(out)
+                    self.samples_out += 1
+                    self.pending_out -= 1
+        except Interrupt:
+            # fail_permanently() while parked: the tile dies where it stood
+            return
 
     # -- context switching (driven by the entry-gateway) -------------------
     @property

@@ -35,36 +35,43 @@ class ConfigBus:
         self.transactions = 0
 
     def transfer(self, words: int, label: str = ""):
-        """Generator: move ``words`` over the bus (blocking, serialised)."""
-        if words < 0:
-            raise SimulationError("cannot transfer a negative word count")
-        yield self._mutex.acquire(1)
-        try:
-            if words:
-                yield self.sim.timeout(words * self.word_time)
-            self.words_transferred += words
-            self.transactions += 1
-            if self.tracer:
-                self.tracer.log(self.sim.now, "cfgbus", "transfer",
-                                words=words, label=label)
-        finally:
-            self._mutex.release(1)
+        """Move ``words`` over the bus (blocking, serialised).
+
+        Returns a generator to drive with ``yield from``.  The size is
+        validated eagerly — a zero or negative word count is a caller bug
+        (it would silently occupy the bus for nothing, or never run at
+        all if the generator is dropped unstarted) and raises
+        :class:`ValueError` at call time.
+        """
+        if not isinstance(words, int) or words <= 0:
+            raise ValueError(
+                f"config bus transfer needs a positive word count, got {words!r}"
+            )
+        return self._occupy(words * self.word_time, words, "transfer", label)
 
     def transfer_cycles(self, cycles: int, label: str = ""):
-        """Generator: occupy the bus for a fixed cycle count.
+        """Occupy the bus for a fixed cycle count (``yield from`` the result).
 
         Used when the caller knows the end-to-end reconfiguration time
         (the paper's measured ``R_s = 4100``) rather than a word count.
+        Zero/negative durations raise :class:`ValueError` eagerly, like
+        :meth:`transfer`.
         """
-        if cycles < 0:
-            raise SimulationError("cannot occupy the bus for negative time")
+        if not isinstance(cycles, int) or cycles <= 0:
+            raise ValueError(
+                f"config bus occupancy needs a positive cycle count, got {cycles!r}"
+            )
+        return self._occupy(cycles, 0, "transfer_cycles", label)
+
+    def _occupy(self, cycles: int, words: int, kind: str, label: str):
         yield self._mutex.acquire(1)
         try:
-            if cycles:
-                yield self.sim.timeout(cycles)
+            yield self.sim.timeout(cycles)
+            self.words_transferred += words
             self.transactions += 1
             if self.tracer:
-                self.tracer.log(self.sim.now, "cfgbus", "transfer_cycles",
-                                cycles=cycles, label=label)
+                detail = {"words": words} if words else {"cycles": cycles}
+                self.tracer.log(self.sim.now, "cfgbus", kind,
+                                label=label, **detail)
         finally:
             self._mutex.release(1)

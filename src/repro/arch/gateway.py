@@ -301,6 +301,14 @@ class EntryGateway:
         #: set when a flush gave up with the chain still holding state; no
         #: stream is admissible until the chain drains and the books settle
         self._dirty = False
+        #: :class:`~repro.arch.reconfig.ReconfigurationManager` or None;
+        #: when set, the recovery path executes pending tile remaps while
+        #: the chain is quiesced (mid-block permanent-failure failover)
+        self.reconfig = None
+        #: admission freeze flag for hitless mode transitions: the
+        #: reconfiguration manager freezes admission, waits for the
+        #: in-flight block to drain, mutates the stream set, then thaws
+        self._frozen = False
         if context_mode == "shadow":
             # preload every stream's context into every tile's shadow bank
             for binding in bindings:
@@ -318,15 +326,59 @@ class EntryGateway:
     def _ready(self, binding: StreamBinding) -> bool:
         """The paper's three admission conditions, all non-blocking.
 
-        Failed or degradation-paused streams are never admissible.
+        Failed, degradation-paused or transition-frozen streams are never
+        admissible.
         """
-        if self._dirty or binding.failed or binding.paused_at is not None:
+        if self._frozen or self._dirty or binding.failed or binding.paused_at is not None:
             return False
         return (
             self.idle.count >= 1
             and binding.in_fifo.consumer_available >= binding.eta
             and binding.out_fifo.producer_space >= binding.expected_out
         )
+
+    # -- online reconfiguration (driven by the ReconfigurationManager) ------
+    def freeze(self) -> None:
+        """Stop admitting blocks; the in-flight block (if any) completes."""
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Resume admission after a mode transition."""
+        self._frozen = False
+
+    @property
+    def quiescent(self) -> bool:
+        """No block is in flight (the idle token is parked) and the chain
+        holds no residue — the only state in which the stream set or the
+        tile mapping may be mutated."""
+        return self.idle.count >= 1 and self._chain_quiet()
+
+    def add_binding(self, binding: StreamBinding) -> None:
+        """Attach a new stream mid-run.  Only legal while frozen+quiescent."""
+        if binding.name in self._by_name:
+            raise GatewayError(f"stream {binding.name!r} is already bound")
+        if len(binding.states) != len(self.tiles):
+            raise GatewayError(
+                f"stream {binding.name!r}: {len(binding.states)} contexts "
+                f"for {len(self.tiles)} tiles"
+            )
+        self.bindings.append(binding)
+        self._by_name[binding.name] = binding
+        if self.context_mode == "shadow":
+            for i, tile in enumerate(self.tiles):
+                tile.install_shadow(binding.name, binding.states[i])
+
+    def remove_binding(self, name: str) -> StreamBinding:
+        """Detach a stream mid-run.  Only legal while frozen+quiescent."""
+        binding = self._by_name.pop(name, None)
+        if binding is None:
+            raise GatewayError(f"no stream {name!r} bound to this gateway")
+        self.bindings.remove(binding)
+        if self._current is binding:
+            # its contexts leave with it; force a clean load for whoever
+            # is admitted next
+            self._current = None
+        return binding
 
     # -- context switch -----------------------------------------------------
     def _reconfigure(self, binding: StreamBinding):
@@ -369,10 +421,11 @@ class EntryGateway:
                         tile.load_state(binding.states[i])
                     load_words = sum(t.state_words for t in self.tiles)
                     if binding.reconfigure_cycles is not None:
-                        yield from self.config_bus.transfer_cycles(
-                            binding.reconfigure_cycles, label=f"R:{binding.name}"
-                        )
-                    else:
+                        if binding.reconfigure_cycles > 0:
+                            yield from self.config_bus.transfer_cycles(
+                                binding.reconfigure_cycles, label=f"R:{binding.name}"
+                            )
+                    elif save_words + load_words > 0:
                         yield from self.config_bus.transfer(
                             save_words + load_words, label=f"ctx:{binding.name}"
                         )
@@ -492,6 +545,11 @@ class EntryGateway:
                     self._dirty = True
                 self._fail_stream(binding, reason, attempt)
                 return
+            if self.reconfig is not None and self.reconfig.pending_remaps:
+                # a tile died under this block: remap the chain onto a
+                # spare now, while it is provably quiet, then replay the
+                # block through the repaired chain
+                yield from self.reconfig.execute_remaps(trigger="watchdog")
             yield from self._rollback_contexts(binding)
             self.exit_gateway.stop_drain()
             backoff = wd.backoff(attempt)
@@ -546,8 +604,16 @@ class EntryGateway:
 
     # -- flush / quiescence -------------------------------------------------
     def _chain_quiet(self) -> bool:
-        """No tile is firing or holding outputs, no channel holds words."""
+        """No tile is firing or holding outputs, no channel holds words.
+
+        A permanently dead tile consumes nothing and computes nothing; its
+        counters are frozen at zero by ``fail_permanently`` and its input
+        is drained by :meth:`_repair_losses`, so quiescence remains
+        reachable around it (the spare failover needs a quiet chain).
+        """
         for tile in self.tiles:
+            if getattr(tile, "dead", False):
+                continue
             if tile.busy or tile.pending_out or tile.input.buffered:
                 return False
         for ch in self._channels:
@@ -580,6 +646,21 @@ class EntryGateway:
     def _repair_losses(self) -> None:
         """Settle the books on every channel and C-FIFO after faults."""
         inj = self.fault_injector
+        for tile in self.tiles:
+            # a dead tile never consumes again: discard whatever reached
+            # its input (returning the credits) so the chain can quiesce
+            # and the block be replayed through the remapped spare
+            if not getattr(tile, "dead", False):
+                continue
+            discarded = 0
+            while True:
+                ok, _word = tile.input.try_recv()
+                if not ok:
+                    break
+                discarded += 1
+            if discarded:
+                self._log(Kind.RESYNC, None, tile=tile.name,
+                          dead_tile_drained=discarded)
         for ch in self._channels:
             data_drops = credit_drops = 0
             if inj is not None:

@@ -22,11 +22,14 @@ from ..accel import MixerKernel
 from ..core.conformance import (
     AttributedReport,
     ConformanceReport,
+    ModalConformanceReport,
     attribute_conformance,
+    attribute_modal_conformance,
     calibrated_system,
     check_conformance,
+    check_modal_conformance,
 )
-from ..core.params import GatewaySystem
+from ..core.params import GatewaySystem, StreamSpec
 from ..core.timing import tau_hat
 from ..sim.metrics import (
     GatewayUtilization,
@@ -34,7 +37,7 @@ from ..sim.metrics import (
     gateway_utilization,
     stream_metrics,
 )
-from ..sim import Signal, SimulationError
+from ..sim import Signal, SimulationError, Simulator
 from ..sim.faults import (
     AdmissionController,
     FaultInjector,
@@ -43,6 +46,8 @@ from ..sim.faults import (
     WatchdogConfig,
 )
 from ..sim.trace import Kind
+from .gateway import StreamBinding
+from .reconfig import ReconfigurationManager
 from .scheduler import Get, Put, TaskSpec
 from .system import MPSoC, SharedChain
 
@@ -71,6 +76,9 @@ class SimulationRun:
     injector: FaultInjector | None = field(default=None)
     watchdog: WatchdogConfig | None = field(default=None)
     admission: AdmissionController | None = field(default=None)
+    #: online-reconfiguration manager, set on churn runs (joins/leaves
+    #: scheduled, or spare tiles provisioned); None on static runs
+    reconfig: ReconfigurationManager | None = field(default=None)
 
     def metrics(self) -> dict[str, StreamMetrics]:
         """Per-stream observed metrics, in round-robin order."""
@@ -98,19 +106,56 @@ class SimulationRun:
         slack = self.poll_interval * len(self.system.streams)
         return check_conformance(model, self.metrics().values(), wait_slack=slack)
 
+    def mode_conformance(self, calibrated: bool = True) -> ModalConformanceReport:
+        """Per-mode Eq. 2–5 conformance of a churn run.
+
+        Each steady mode between transitions is checked against its own
+        stream set and block sizes; wait/turnaround chains reset at every
+        transition, and the transitions' quiesce/reprogram intervals fall
+        between the windows, where no steady-state bound applies.
+        """
+        if self.reconfig is None:
+            raise SimulationError(
+                "mode_conformance needs a churn run (no reconfiguration "
+                "manager was armed); use conformance() for static runs"
+            )
+        windows = self.reconfig.mode_windows()
+        slack = (self.poll_interval
+                 * max(len(w.system.streams) for w in windows)
+                 + self.reconfig.quiesce_poll)
+        return check_modal_conformance(
+            windows, self.chain.bindings, wait_slack=slack,
+            calibrate=calibrated,
+        )
+
     def attributed_conformance(self, calibrated: bool = True) -> AttributedReport:
         """Conformance report with every violation traced to injected faults.
 
         On a fault-free run this degenerates to the plain report with zero
         injected events; with a fault plan, ``fully_attributed`` is the
         property to assert — an unattributed violation is a genuine
-        refinement bug, not fault fallout.
+        refinement bug, not fault fallout.  On a churn run the per-mode
+        report is attributed, with the transition records themselves as
+        secondary causes (a block aborted by a mid-block tile failure
+        legitimately blows τ̂; the transition explains it).
         """
         events = self.injector.events if self.injector is not None else []
+        if self.reconfig is not None:
+            modal = self.mode_conformance(calibrated=calibrated)
+            secondary = self.reconfig.transition_events()
+            times = [e["time"] for e in events] + [e["time"] for e in secondary]
+            if times:
+                first = min(times)
+                secondary = secondary + [
+                    r for r in self.chain.entry.recovery_log
+                    if r["time"] >= first
+                ]
+            return attribute_modal_conformance(modal, events,
+                                               secondary=secondary)
         # recovery actions (watchdog flush, degrade/readmit pause) taken
         # after the first real fault are fault fallout: violations they
         # cause are explained, not refinement bugs
-        secondary: list[dict] = []
+        secondary = []
         if events:
             first = min(e["time"] for e in events)
             secondary = [r for r in self.chain.entry.recovery_log
@@ -137,7 +182,7 @@ class SimulationRun:
                 "failed": m.failed,
                 "recovered": m.recovered,
             }
-        return {
+        report = {
             "injected": [dict(e) for e in attributed.injected],
             "streams": streams,
             "recovery_log": [dict(r) for r in self.chain.entry.recovery_log],
@@ -145,6 +190,12 @@ class SimulationRun:
             "fully_attributed": attributed.fully_attributed,
             "unattributed": [v.to_dict() for v in attributed.unattributed],
         }
+        if self.reconfig is not None:
+            report["transitions"] = [
+                t.to_dict() for t in self.reconfig.transitions
+            ]
+            report["remaps"] = [list(r) for r in self.chain.remaps]
+        return report
 
 
 def simulate_system(
@@ -159,6 +210,7 @@ def simulate_system(
     watchdog: WatchdogConfig | None = None,
     admission: AdmissionController | bool | None = None,
     max_cycles: int | None = None,
+    spares: int = 0,
 ) -> SimulationRun:
     """Simulate ``system`` with ``blocks`` backlogged blocks per stream.
 
@@ -175,8 +227,18 @@ def simulate_system(
     ``max_cycles``, when given, replaces the conservative deadlock cap and
     turns hitting it into a :class:`SimulationStalled` error whose message
     names the stalled gateways and streams.
+
+    A plan containing ``stream_join``/``stream_leave`` requests — or a
+    positive ``spares`` count (dormant cold-spare tiles for permanent-
+    tile-failure failover) — switches the run into **churn mode**: a
+    :class:`~repro.arch.reconfig.ReconfigurationManager` executes the
+    requests as hitless online mode transitions, streams are fed
+    continuously instead of with a fixed backlog, and a stream counts as
+    done once it has completed ``blocks`` blocks (or left, or failed).
+    Static runs are cycle-for-cycle unchanged by this feature.
     """
     system.require_block_sizes()
+    churn = spares > 0 or bool(faults is not None and faults.churn)
     kernels = []
     for spec in system.accelerators:
         k = MixerKernel(0.0)
@@ -195,15 +257,20 @@ def simulate_system(
     entry_station = 2
     exit_station = entry_station + len(kernels) + 1
 
+    # churn runs re-solve block sizes online, so fifo headroom must cover
+    # grown η values and continuously-fed backlog, not just the fixed total
+    cap_words = 4 * (max(s.block_size for s in system.streams) * blocks + 8)
+
     configs = []
     totals: dict[str, int] = {}
     for spec in system.streams:
         eta = spec.block_size
         total = eta * blocks
         totals[spec.name] = total
-        in_fifo = prod.fifo_to(entry_station, capacity=total + 8,
+        capacity = cap_words if churn else total + 8
+        in_fifo = prod.fifo_to(entry_station, capacity=capacity,
                                name=f"{spec.name}.in")
-        out_fifo = soc.software_fifo(exit_station, cons, capacity=total + 8,
+        out_fifo = soc.software_fifo(exit_station, cons, capacity=capacity,
                                      name=f"{spec.name}.out")
         configs.append({
             "name": spec.name,
@@ -236,16 +303,18 @@ def simulate_system(
                 )
                 for s in system.streams
             ])
-        # a failed stream will never drain; count it as done so the run
-        # terminates instead of spinning to the cycle cap
-        user_failed_cb = wd.on_stream_failed
+        if not churn:
+            # a failed stream will never drain; count it as done so the run
+            # terminates instead of spinning to the cycle cap (churn runs
+            # track failure through the per-stream watchers instead)
+            user_failed_cb = wd.on_stream_failed
 
-        def _on_stream_failed(name: str) -> None:
-            drained.release(1)
-            if user_failed_cb is not None:
-                user_failed_cb(name)
+            def _on_stream_failed(name: str) -> None:
+                drained.release(1)
+                if user_failed_cb is not None:
+                    user_failed_cb(name)
 
-        wd.on_stream_failed = _on_stream_failed
+            wd.on_stream_failed = _on_stream_failed
 
     chain = soc.shared_chain(
         "sys", kernels, configs,
@@ -255,27 +324,73 @@ def simulate_system(
         watchdog=wd, admission=adm, fault_injector=injector,
     )
 
-    def producer(fifo, count):
-        def gen():
-            for i in range(count):
-                yield Put(fifo, float(i))
-        return gen
+    book = None
+    reconfig = None
+    if churn:
+        for i in range(spares):
+            soc.add_spare_tile(f"sys.spare{i}")
+        book = _ChurnBook(soc.sim, drained, blocks)
+        ratio = next(iter(chain.bindings.values())).output_ratio
+        failure_allowance = 0
+        if wd is not None:
+            failure_allowance = (
+                max(wd.budgets.values(), default=wd.default_budget)
+                + wd.slack + wd.settle_cycles * wd.settle_rounds
+                + wd.backoff_cap
+            )
 
-    def consumer(fifo, total_out):
-        def gen():
-            for _ in range(total_out):
-                yield Get(fifo)
-            drained.release(1)
-        return gen
+        def _joined_binding(spec: StreamSpec, eta: int) -> StreamBinding:
+            in_fifo = soc.software_fifo(prod, entry_station,
+                                        capacity=cap_words,
+                                        name=f"{spec.name}.in")
+            out_fifo = soc.software_fifo(exit_station, cons,
+                                         capacity=cap_words,
+                                         name=f"{spec.name}.out")
+            if injector is not None:
+                in_fifo.fault_injector = injector
+                out_fifo.fault_injector = injector
+            binding = StreamBinding(
+                name=spec.name, eta=eta, in_fifo=in_fifo, out_fifo=out_fifo,
+                states=[MixerKernel(0.0).get_state() for _ in kernels],
+                output_ratio=ratio, reconfigure_cycles=spec.reconfigure,
+            )
+            book.track(binding)
+            return binding
 
-    for cfg in configs:
-        name, total = cfg["name"], totals[cfg["name"]]
-        out_per_block = chain.binding(name).expected_out
-        prod.add_task(TaskSpec(f"feed:{name}", producer(cfg["in_fifo"], total)))
-        cons.add_task(TaskSpec(f"drain:{name}",
-                               consumer(cfg["out_fifo"], out_per_block * blocks)))
-    prod.start()
-    cons.start()
+        reconfig = ReconfigurationManager(
+            soc, chain, system,
+            binding_factory=_joined_binding,
+            on_stream_left=lambda b: book.mark_done(b.name),
+            eta_max=max(1, cap_words // 2),
+            failure_allowance=failure_allowance,
+        )
+        if faults is not None:
+            reconfig.schedule_plan(faults)
+        reconfig.start()
+        for cfg in configs:
+            book.track(chain.binding(cfg["name"]))
+    else:
+        def producer(fifo, count):
+            def gen():
+                for i in range(count):
+                    yield Put(fifo, float(i))
+            return gen
+
+        def consumer(fifo, total_out):
+            def gen():
+                for _ in range(total_out):
+                    yield Get(fifo)
+                drained.release(1)
+            return gen
+
+        for cfg in configs:
+            name, total = cfg["name"], totals[cfg["name"]]
+            out_per_block = chain.binding(name).expected_out
+            prod.add_task(TaskSpec(f"feed:{name}", producer(cfg["in_fifo"], total)))
+            cons.add_task(TaskSpec(f"drain:{name}",
+                                   consumer(cfg["out_fifo"], out_per_block * blocks)))
+        prod.start()
+        cons.start()
 
     # Conservative cap in case a configuration deadlocks; the normal exit is
     # the drain of every stream's last output, so the measurement horizon is
@@ -295,21 +410,102 @@ def simulate_system(
         cap += per_block_recovery * blocks * len(system.streams) + 100_000
         if adm is not None:
             cap += adm.healthy_window * len(system.streams)
+    if churn:
+        # transitions quiesce the chain and failures replay blocks; budget
+        # each scheduled request and provisioned spare generously on top
+        cap += 200_000 * (len(reconfig._events) + spares + 1)
     if max_cycles is not None:
         cap = max_cycles
-    done = soc.sim.process(_wait_for(drained, len(configs)))
-    while not done.processed:
-        nxt = soc.sim.peek()
-        if nxt is None or nxt > cap:
-            break
-        soc.sim.step()
-    if max_cycles is not None and not done.processed:
-        raise SimulationStalled(_stall_diagnostic(chain, blocks, soc.sim.now))
+    if churn:
+        while not book.complete(reconfig):
+            nxt = soc.sim.peek()
+            if nxt is None or nxt > cap:
+                break
+            soc.sim.step()
+        if max_cycles is not None and not book.complete(reconfig):
+            raise SimulationStalled(_stall_diagnostic(chain, blocks, soc.sim.now))
+    else:
+        done = soc.sim.process(_wait_for(drained, len(configs)))
+        while not done.processed:
+            nxt = soc.sim.peek()
+            if nxt is None or nxt > cap:
+                break
+            soc.sim.step()
+        if max_cycles is not None and not done.processed:
+            raise SimulationStalled(_stall_diagnostic(chain, blocks, soc.sim.now))
     return SimulationRun(
         system=system, soc=soc, chain=chain, blocks=blocks,
         poll_interval=poll_interval, horizon=max(1, soc.sim.now),
-        injector=injector, watchdog=wd, admission=adm,
+        injector=injector, watchdog=wd, admission=adm, reconfig=reconfig,
     )
+
+
+class _ChurnBook:
+    """Per-stream feeding, draining and completion tracking for churn runs.
+
+    Static runs feed a fixed backlog and wait for a fixed output count;
+    under churn neither is known up front (block sizes change online, and a
+    leaving stream never drains its total), so every stream — initial or
+    joined — gets a continuous feeder, a continuous drainer and a watcher
+    that marks it done once it has completed the target number of blocks,
+    failed, or left.
+    """
+
+    def __init__(self, sim: Simulator, drained: Signal, blocks: int,
+                 poll: int = 64) -> None:
+        self.sim = sim
+        self.drained = drained
+        self.blocks = blocks
+        self.poll = max(1, int(poll))
+        self.expected = 0
+        self._done: set[str] = set()
+
+    def track(self, binding: StreamBinding) -> None:
+        """Feed, drain and watch one stream until it counts as done."""
+        self.expected += 1
+        self.sim.process(self._feed(binding), name=f"feed:{binding.name}")
+        self.sim.process(self._drain(binding), name=f"drain:{binding.name}")
+        self.sim.process(self._watch(binding), name=f"watch:{binding.name}")
+
+    def mark_done(self, name: str) -> None:
+        if name not in self._done:
+            self._done.add(name)
+            self.drained.release(1)
+
+    def complete(self, reconfig: ReconfigurationManager) -> bool:
+        """Every tracked stream done and no reconfiguration work pending."""
+        return (len(self._done) >= self.expected
+                and not reconfig._events
+                and not reconfig.pending_remaps
+                and not reconfig.busy)
+
+    def _feed(self, binding: StreamBinding):
+        # keep the input backlogged (the regime the bounds assume) without
+        # ever blocking in put(): a done/left stream just stops being fed
+        i = 0
+        fifo = binding.in_fifo
+        while binding.name not in self._done:
+            if fifo.producer_space > 0:
+                yield from fifo.put(float(i))
+                i += 1
+            else:
+                yield self.sim.timeout(self.poll)
+
+    def _drain(self, binding: StreamBinding):
+        fifo = binding.out_fifo
+        while binding.name not in self._done:
+            ok, _word = fifo.try_get()
+            if ok:
+                yield self.sim.timeout(1)
+            else:
+                yield self.sim.timeout(self.poll)
+
+    def _watch(self, binding: StreamBinding):
+        while (binding.blocks_done < self.blocks
+               and not binding.failed
+               and binding.name not in self._done):
+            yield self.sim.timeout(self.poll)
+        self.mark_done(binding.name)
 
 
 def _stall_diagnostic(chain: SharedChain, blocks: int, now: int) -> str:

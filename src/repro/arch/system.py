@@ -43,9 +43,42 @@ class SharedChain:
         self.tiles = tiles
         self.bindings = {b.name: b for b in bindings}
         self.channels = channels or []
+        #: (failed tile, spare tile) name pairs, in remap order
+        self.remaps: list[tuple[str, str]] = []
 
     def binding(self, name: str) -> StreamBinding:
         return self.bindings[name]
+
+    def remap_tile(self, failed: AcceleratorTile, spare: AcceleratorTile) -> None:
+        """Substitute a dormant spare into a dead tile's chain position.
+
+        The kernel object (and any shadow contexts) survive the hardware
+        failure — only the tile died — so the spare adopts them together
+        with the dead tile's channel endpoints.  The ``tiles`` list is
+        shared by reference with the entry-gateway, so the in-place swap
+        is immediately visible to the admission/flush logic.  Only legal
+        while the chain is quiescent; the caller (the reconfiguration
+        manager) guarantees that.
+        """
+        if not failed.dead:
+            raise SimulationError(
+                f"{failed.name}: refusing to remap a live tile"
+            )
+        idx = self.tiles.index(failed)
+        spare.fault_injector = failed.fault_injector
+        spare.on_permanent_failure = failed.on_permanent_failure
+        spare.adopt(
+            failed.kernel,
+            self.channels[idx],
+            self.channels[idx + 1],
+            shadow_bank=failed._shadow_bank,
+        )
+        self.tiles[idx] = spare
+        self.remaps.append((failed.name, spare.name))
+        if self.entry.tracer:
+            self.entry.tracer.log(self.entry.sim.now, failed.name,
+                                  "tile_remapped", spare=spare.name,
+                                  position=idx)
 
     def stream_metrics(self, tracer: Tracer | None = None) -> dict:
         """Per-stream :class:`~repro.sim.metrics.StreamMetrics`.
@@ -109,6 +142,8 @@ class MPSoC:
                                     tracer=self.tracer if trace else None)
         self._next_station = 0
         self.processors: list[ProcessorTile] = []
+        #: dormant cold-spare accelerator tiles (failover pool)
+        self.spare_tiles: list[AcceleratorTile] = []
 
     # -- stations -----------------------------------------------------------
     def claim_station(self) -> int:
@@ -129,6 +164,27 @@ class MPSoC:
         )
         self.processors.append(tile)
         return tile
+
+    def add_spare_tile(self, name: str) -> AcceleratorTile:
+        """Provision a dormant cold-spare accelerator tile.
+
+        Spares sit powered-down off the chain (no kernel, no channels, no
+        process) until :meth:`take_spare` hands one to the reconfiguration
+        manager for a failover remap.
+        """
+        tile = AcceleratorTile(
+            self.sim, name,
+            tracer=self.tracer if self.tracer.enabled else None,
+        )
+        self.spare_tiles.append(tile)
+        return tile
+
+    def take_spare(self) -> AcceleratorTile | None:
+        """Hand out the next dormant spare, or None when the pool is dry."""
+        for tile in self.spare_tiles:
+            if tile.dormant:
+                return tile
+        return None
 
     def software_fifo(self, src: ProcessorTile | int, dst: ProcessorTile | int,
                       capacity: int, name: str) -> CFifo:

@@ -22,21 +22,29 @@ from .blocksize_ilp import (
     BlockSizeResult,
     build_block_size_model,
     compute_block_sizes,
+    resolve_block_sizes,
     sharing_load,
+    system_fingerprint,
 )
 from .config_io import dump_system, load_system, system_from_dict, system_to_dict
 from .conformance import (
     AttributedReport,
     Attribution,
     ConformanceReport,
+    ModalConformanceReport,
+    ModeConformance,
+    ModeWindow,
     StreamBounds,
     StreamConformance,
     Violation,
     attribute_conformance,
+    attribute_modal_conformance,
     bounds_for,
     calibrated_system,
     check_conformance,
+    check_modal_conformance,
     check_stream,
+    slice_stream_window,
     violation_window,
 )
 from .design_flow import DesignReport, run_design_flow
@@ -71,6 +79,9 @@ __all__ = [
     "ConformanceReport",
     "DesignReport",
     "GatewaySystem",
+    "ModalConformanceReport",
+    "ModeConformance",
+    "ModeWindow",
     "ParameterError",
     "ParametricSchedule",
     "StreamBounds",
@@ -84,6 +95,7 @@ __all__ = [
     "accelerator_utilization_gain",
     "analyze_utilization",
     "attribute_conformance",
+    "attribute_modal_conformance",
     "block_round_length",
     "bounds_for",
     "build_block_size_model",
@@ -91,6 +103,7 @@ __all__ = [
     "build_stream_sdf",
     "calibrated_system",
     "check_conformance",
+    "check_modal_conformance",
     "check_stream",
     "compute_block_sizes",
     "dump_system",
@@ -103,10 +116,13 @@ __all__ = [
     "measure_block_time",
     "optimal_block_sizes_for_buffers",
     "parametric_schedule",
+    "resolve_block_sizes",
     "rho_g0_first_phase",
     "run_design_flow",
     "sample_latency_bound",
     "sharing_load",
+    "slice_stream_window",
+    "system_fingerprint",
     "stream_buffer_cost",
     "tau_hat",
     "throughput_satisfied",

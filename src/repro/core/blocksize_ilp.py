@@ -20,13 +20,21 @@ up like ``1/(1 − load)``, and beyond it no block size helps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
+from math import ceil
 
 from ..ilp import Model, Status, solve, sum_expr
 from .params import GatewaySystem, ParameterError
 
-__all__ = ["BlockSizeResult", "compute_block_sizes", "build_block_size_model", "sharing_load"]
+__all__ = [
+    "BlockSizeResult",
+    "compute_block_sizes",
+    "resolve_block_sizes",
+    "build_block_size_model",
+    "sharing_load",
+    "system_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,12 @@ class BlockSizeResult:
     feasible: bool
     backend: str
     load: Fraction
+    #: identity of the (stream set, costs) the solution is valid for; set by
+    #: :func:`resolve_block_sizes` so unchanged re-solves short-circuit
+    fingerprint: tuple | None = field(default=None, compare=False)
+    #: True when :func:`resolve_block_sizes` reused or bounded the search
+    #: with a previous solution
+    warm_start: bool = field(default=False, compare=False)
 
     @property
     def total(self) -> int:
@@ -106,3 +120,115 @@ def compute_block_sizes(
         backend=sol.backend,
         load=load,
     )
+
+
+def system_fingerprint(system: GatewaySystem, c1_mode: str = "sum") -> tuple:
+    """Everything the Algorithm-1 solution depends on, as a hashable key.
+
+    Two systems with equal fingerprints have identical constraint sets, so
+    a previous solution can be reused verbatim.
+    """
+    return (
+        c1_mode,
+        system.entry_copy,
+        system.exit_copy,
+        tuple((a.name, a.rho) for a in system.accelerators),
+        tuple(sorted((s.name, s.throughput, s.reconfigure) for s in system.streams)),
+    )
+
+
+def _seed_candidate(
+    system: GatewaySystem, previous: BlockSizeResult, c1_mode: str
+) -> dict[str, int] | None:
+    """A feasible candidate assignment grown from ``previous``, or None.
+
+    Surviving streams keep their previous η; each other stream gets the
+    closed-form single-unknown solution with the rest held fixed.  A few
+    fix-up sweeps propagate the round growth; the candidate is returned
+    only once every constraint holds.
+    """
+    c0 = system.c0
+    flush = system.flush_stages
+    n = len(system.streams)
+    r_sum = sum(s.reconfigure for s in system.streams)
+    sizes = {
+        s.name: previous.block_sizes[s.name]
+        for s in system.streams
+        if s.name in previous.block_sizes
+    }
+
+    def needed(spec, total_others: int) -> int | None:
+        # η_s ≥ μ_s·(c1 + c0·(Σ_others + η_s + F·n)) solved for η_s
+        c1 = r_sum if c1_mode == "sum" else spec.reconfigure
+        mu = spec.throughput
+        denom = 1 - c0 * mu
+        if denom <= 0:
+            return None
+        return max(1, ceil(mu * (c1 + c0 * (total_others + flush * n)) / denom))
+
+    for _ in range(2 * n + 2):
+        changed = False
+        for spec in system.streams:
+            others = sum(v for k, v in sizes.items() if k != spec.name)
+            eta = needed(spec, others)
+            if eta is None:
+                return None
+            if sizes.get(spec.name, 0) < eta:
+                sizes[spec.name] = eta
+                changed = True
+        if not changed:
+            return sizes
+    return None
+
+
+def resolve_block_sizes(
+    system: GatewaySystem,
+    previous: BlockSizeResult | None = None,
+    backend: str = "scipy",
+    c1_mode: str = "sum",
+    eta_max: int | None = None,
+) -> BlockSizeResult:
+    """Warm-start incremental re-solve of Algorithm 1 for online mode changes.
+
+    Identical stream set and costs (matched by :func:`system_fingerprint`)
+    → the previous solution is returned unchanged (idempotence: the online
+    path never churns block sizes without cause).  Otherwise a feasible
+    candidate grown from the previous solution tightens the per-variable
+    upper bound ``η_s ≤ μ_s·(c1 + c0·(T_c + F·n))`` before the exact solve,
+    shrinking the branch-and-bound search space; the result is optimal
+    either way because the candidate's total upper-bounds the optimum.
+    """
+    fp = system_fingerprint(system, c1_mode=c1_mode)
+    if previous is not None and previous.fingerprint == fp:
+        return replace(previous, warm_start=True)
+    bound = eta_max
+    warm = False
+    if previous is not None:
+        candidate = _seed_candidate(system, previous, c1_mode)
+        if candidate is not None:
+            c0 = system.c0
+            flush = system.flush_stages
+            n = len(system.streams)
+            total = sum(candidate.values())
+            r_sum = sum(s.reconfigure for s in system.streams)
+            per_var = []
+            for s in system.streams:
+                c1 = r_sum if c1_mode == "sum" else s.reconfigure
+                per_var.append(ceil(s.throughput * (c1 + c0 * (total + flush * n))))
+            derived = max(max(per_var), max(candidate.values()))
+            bound = derived if eta_max is None else min(eta_max, derived)
+            warm = True
+    try:
+        result = compute_block_sizes(
+            system, backend=backend, c1_mode=c1_mode, eta_max=bound
+        )
+    except ParameterError:
+        if bound == eta_max:
+            raise
+        # the derived cap was too tight for the solver; fall back to the
+        # caller's (or unbounded) search space
+        result = compute_block_sizes(
+            system, backend=backend, c1_mode=c1_mode, eta_max=eta_max
+        )
+        warm = False
+    return replace(result, fingerprint=fp, warm_start=warm)

@@ -40,12 +40,18 @@ __all__ = [
     "ConformanceReport",
     "Attribution",
     "AttributedReport",
+    "ModeWindow",
+    "ModeConformance",
+    "ModalConformanceReport",
     "bounds_for",
     "check_stream",
     "check_conformance",
+    "check_modal_conformance",
     "calibrated_system",
     "attribute_conformance",
+    "attribute_modal_conformance",
     "violation_window",
+    "slice_stream_window",
 ]
 
 #: Calibration offsets measured on the cycle-level architecture model.
@@ -345,6 +351,233 @@ def check_conformance(
     """Check every stream's metrics against ``system``'s bounds."""
     return ConformanceReport(
         streams=tuple(check_stream(system, m, wait_slack=wait_slack) for m in metrics)
+    )
+
+
+# -- per-mode bound windows ---------------------------------------------------
+#
+# Under online reconfiguration the run is a sequence of *modes*: between two
+# transitions the stream set and block sizes are fixed and the Eq. 2–5
+# bounds of that mode's system apply.  Checking a churn run against any
+# single system flags false violations (a block admitted under mode k and
+# measured against mode k+1's bounds, or a wait spanning a transition's
+# quiesce time); instead each mode is checked in isolation against its own
+# bounds, with the wait/turnaround chains reset at every transition.
+
+
+@dataclass(frozen=True)
+class ModeWindow:
+    """One steady mode of a reconfigurable run.
+
+    The window covers blocks *admitted* in ``[start, end)`` (``end=None``
+    = run end); transitions themselves (quiesce → reprogram) fall between
+    windows, so no steady-state bound is asserted over them.
+    """
+
+    index: int
+    start: int
+    end: int | None
+    system: GatewaySystem
+
+    def contains(self, time: int) -> bool:
+        return self.start <= time and (self.end is None or time < self.end)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "streams": {
+                s.name: s.block_size for s in self.system.streams
+            },
+        }
+
+
+def slice_stream_window(
+    admissions: "list[int] | tuple[int, ...]",
+    completions: "list[int] | tuple[int, ...]",
+    start: int,
+    end: int | None,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """The (admissions, completions) pairs of blocks admitted in a window.
+
+    Only completed blocks are returned (a block still in flight at run end
+    has no measurable quantities); admissions are monotone, so the slice is
+    contiguous.
+    """
+    idxs = [
+        i
+        for i, a in enumerate(admissions)
+        if i < len(completions) and start <= a and (end is None or a < end)
+    ]
+    if not idxs:
+        return (), ()
+    k0, k1 = idxs[0], idxs[-1] + 1
+    return tuple(admissions[k0:k1]), tuple(completions[k0:k1])
+
+
+def _window_metrics(
+    name: str, eta: int, admissions: tuple[int, ...],
+    completions: tuple[int, ...], output_ratio: Fraction,
+) -> StreamMetrics:
+    """Per-window :class:`StreamMetrics` rebuilt from sliced timestamps."""
+    n = len(completions)
+    block_times = tuple(c - a for a, c in zip(admissions, completions))
+    waits = tuple(a - c for c, a in zip(completions, admissions[1:]))
+    turnarounds = tuple(c2 - c1 for c1, c2 in zip(completions, completions[1:]))
+    throughput = None
+    if n >= 2 and completions[-1] > completions[0]:
+        throughput = Fraction(eta * (n - 1), completions[-1] - completions[0])
+    return StreamMetrics(
+        name=name,
+        eta=eta,
+        blocks_done=n,
+        samples_in=eta * n,
+        samples_out=int(eta * n * output_ratio),
+        block_times=block_times,
+        waits=waits,
+        turnarounds=turnarounds,
+        throughput=throughput,
+        first_output_at=completions[0] if completions else None,
+        last_output_at=completions[-1] if completions else None,
+        in_high_water=None,
+        out_high_water=None,
+    )
+
+
+@dataclass(frozen=True)
+class ModeConformance:
+    """Conformance of one mode window, plus its sliced timestamp spans."""
+
+    window: ModeWindow
+    report: ConformanceReport
+    #: stream name -> (admissions, completions) sliced to the window; feeds
+    #: :func:`attribute_conformance` so violation windows index correctly
+    spans: dict[str, tuple[tuple[int, ...], tuple[int, ...]]]
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"window": self.window.to_dict(), **self.report.to_dict()}
+
+
+@dataclass(frozen=True)
+class ModalConformanceReport:
+    """Eq. 2–5 conformance of a reconfigurable run, one report per mode."""
+
+    modes: tuple[ModeConformance, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(m.ok for m in self.modes)
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        return tuple(v for m in self.modes for v in m.report.violations)
+
+    def merged(self) -> ConformanceReport:
+        """All modes' per-stream results flattened into one report."""
+        return ConformanceReport(
+            streams=tuple(s for m in self.modes for s in m.report.streams)
+        )
+
+    def summary(self) -> str:
+        lines = []
+        for m in self.modes:
+            end = m.window.end if m.window.end is not None else "end"
+            lines.append(
+                f"mode {m.window.index} [{m.window.start}, {end}): "
+                f"{len(m.report.streams)} stream(s)"
+            )
+            lines.append(m.report.summary())
+            lines.append("")
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        lines.append(f"modal conformance over {len(self.modes)} mode(s): {status}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "modes": [m.to_dict() for m in self.modes],
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def check_modal_conformance(
+    windows: Iterable[ModeWindow],
+    spans: dict[str, Any],
+    wait_slack: int = 0,
+    calibrate: bool = True,
+) -> ModalConformanceReport:
+    """Check each mode window against its own system's bounds.
+
+    ``spans`` maps stream name → an object with ``admissions``/
+    ``completions`` lists (a stream binding qualifies) or a plain pair.
+    Streams absent from a window's system (not yet joined / already left)
+    are skipped in that window; streams with no completed block in the
+    window contribute an empty observation.
+    """
+    modes = []
+    for window in windows:
+        model = calibrated_system(window.system) if calibrate else window.system
+        stream_reports = []
+        window_spans: dict[str, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        for spec in model.streams:
+            span = spans.get(spec.name)
+            if span is None:
+                continue
+            if hasattr(span, "admissions"):
+                admissions, completions = span.admissions, span.completions
+                ratio = getattr(span, "output_ratio", Fraction(1))
+            else:
+                admissions, completions = span
+                ratio = Fraction(1)
+            adm, comp = slice_stream_window(
+                admissions, completions, window.start, window.end
+            )
+            window_spans[spec.name] = (adm, comp)
+            metrics = _window_metrics(
+                spec.name, spec.block_size, adm, comp, ratio
+            )
+            stream_reports.append(
+                check_stream(model, metrics, wait_slack=wait_slack)
+            )
+        modes.append(
+            ModeConformance(
+                window=window,
+                report=ConformanceReport(streams=tuple(stream_reports)),
+                spans=window_spans,
+            )
+        )
+    return ModalConformanceReport(modes=tuple(modes))
+
+
+def attribute_modal_conformance(
+    modal: ModalConformanceReport,
+    events: Iterable[dict[str, Any]],
+    pad: int = 0,
+    secondary: Iterable[dict[str, Any]] = (),
+) -> AttributedReport:
+    """Trace every mode's violations to injected faults / transition records.
+
+    The per-mode sliced spans index each violation's ``block_index`` into
+    the right timestamps; the merged result carries every mode's streams,
+    so ``fully_attributed`` covers the whole churn run.
+    """
+    injected = tuple(events)
+    secondary = tuple(secondary)
+    attributions: list[Attribution] = []
+    for mode in modal.modes:
+        partial = attribute_conformance(
+            mode.report, injected, mode.spans, pad=pad, secondary=secondary
+        )
+        attributions.extend(partial.attributions)
+    return AttributedReport(
+        report=modal.merged(),
+        attributions=tuple(attributions),
+        injected=injected,
     )
 
 

@@ -47,7 +47,11 @@ __all__ = [
     "CFIFO_PTR_LOSS",
     "RECONFIG_FAIL",
     "TASK_STALL",
+    "TILE_FAILURE",
+    "STREAM_JOIN",
+    "STREAM_LEAVE",
     "FAULT_KINDS",
+    "CHURN_KINDS",
 ]
 
 
@@ -67,10 +71,20 @@ CFIFO_PTR_LOSS = "cfifo_ptr_loss"
 RECONFIG_FAIL = "reconfig_fail"
 #: a processor task overruns its budget by ``extra`` cycles
 TASK_STALL = "task_stall"
+#: an accelerator tile dies for good on its next firing (spare failover)
+TILE_FAILURE = "permanent_tile_failure"
+#: a new stream requests admission mid-run (``params`` carries its spec)
+STREAM_JOIN = "stream_join"
+#: a running stream requests departure mid-run
+STREAM_LEAVE = "stream_leave"
 
 FAULT_KINDS = frozenset(
-    {ACCEL_STALL, RING_DELAY, RING_DROP, CFIFO_PTR_LOSS, RECONFIG_FAIL, TASK_STALL}
+    {ACCEL_STALL, RING_DELAY, RING_DROP, CFIFO_PTR_LOSS, RECONFIG_FAIL,
+     TASK_STALL, TILE_FAILURE, STREAM_JOIN, STREAM_LEAVE}
 )
+
+#: kinds handled by the reconfiguration manager, not the injector hooks
+CHURN_KINDS = frozenset({STREAM_JOIN, STREAM_LEAVE})
 
 #: spec fields serialised to / parsed from JSON, in canonical order
 _SPEC_FIELDS = (
@@ -85,6 +99,7 @@ _SPEC_FIELDS = (
     "side",
     "src",
     "dst",
+    "params",
 )
 
 
@@ -121,6 +136,11 @@ class FaultSpec:
         starves) or ``"read"`` (rptr update lost, producer loses credit).
     src / dst:
         Ring station pair a link fault applies to; ``None`` matches any.
+    params:
+        For :data:`STREAM_JOIN`: the joining stream's parameters — at least
+        ``"throughput"`` (``[num, den]`` samples/cycle) and ``"reconfigure"``
+        (``R_s`` cycles); optionally ``"block_size"`` to skip the online
+        re-solve for this stream.
     """
 
     kind: str
@@ -134,6 +154,7 @@ class FaultSpec:
     side: str = "write"
     src: int | None = None
     dst: int | None = None
+    params: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -159,6 +180,39 @@ class FaultSpec:
             )
         if self.probability is not None and self.kind != RING_DROP:
             raise FaultError("probability is only meaningful for ring_drop faults")
+        if self.kind in (TILE_FAILURE, STREAM_JOIN, STREAM_LEAVE) and not self.target:
+            what = "tile" if self.kind == TILE_FAILURE else "stream"
+            raise FaultError(f"{self.kind} needs a target {what} name")
+        if self.params is not None and self.kind != STREAM_JOIN:
+            raise FaultError("params is only meaningful for stream_join faults")
+        if self.kind == STREAM_JOIN:
+            p = self.params
+            if not isinstance(p, dict):
+                raise FaultError(
+                    "stream_join needs a params dict with at least "
+                    "'throughput' ([num, den]) and 'reconfigure' (cycles)"
+                )
+            missing = {"throughput", "reconfigure"} - set(p)
+            if missing:
+                raise FaultError(
+                    f"stream_join params missing {sorted(missing)}; got "
+                    f"{sorted(p)}"
+                )
+            tp = p["throughput"]
+            if (not isinstance(tp, (list, tuple)) or len(tp) != 2
+                    or not all(isinstance(v, int) and v > 0 for v in tp)):
+                raise FaultError(
+                    "stream_join params['throughput'] must be a positive "
+                    f"[num, den] pair, got {tp!r}"
+                )
+
+    @property
+    def throughput(self) -> Fraction:
+        """The joining stream's required rate (:data:`STREAM_JOIN` only)."""
+        if self.kind != STREAM_JOIN or self.params is None:
+            raise FaultError(f"{self.kind} specs carry no throughput")
+        num, den = self.params["throughput"]
+        return Fraction(num, den)
 
     @property
     def until(self) -> int:
@@ -182,7 +236,10 @@ class FaultSpec:
             raise FaultError(f"unknown fault-spec fields: {sorted(unknown)}")
         if "kind" not in data or "at" not in data:
             raise FaultError("a fault spec needs at least 'kind' and 'at'")
-        return cls(**data)
+        try:
+            return cls(**data)
+        except TypeError as err:
+            raise FaultError(f"malformed fault spec {data!r}: {err}") from err
 
 
 @dataclass(frozen=True)
@@ -200,6 +257,16 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.specs)
+
+    @property
+    def churn(self) -> tuple[FaultSpec, ...]:
+        """Join/leave requests, for the reconfiguration manager."""
+        return tuple(s for s in self.specs if s.kind in CHURN_KINDS)
+
+    @property
+    def tile_failures(self) -> tuple[FaultSpec, ...]:
+        """Permanent tile failures, for spare provisioning checks."""
+        return tuple(s for s in self.specs if s.kind == TILE_FAILURE)
 
     def to_dict(self) -> dict[str, Any]:
         return {"seed": self.seed, "faults": [s.to_dict() for s in self.specs]}
@@ -255,6 +322,12 @@ class FaultInjector:
 
     # -- internals -------------------------------------------------------
     def _armed(self, spec: FaultSpec, idx: int) -> bool:
+        if spec.kind == TILE_FAILURE:
+            # a permanent failure latches: armed from ``at`` onward until
+            # it has fired once (the tile never asks again after dying)
+            if self.sim.now < spec.at or self._fired[idx] >= 1:
+                return False
+            return True
         if not (spec.at <= self.sim.now < spec.until):
             return False
         if spec.count is not None and self._fired[idx] >= spec.count:
@@ -340,6 +413,19 @@ class FaultInjector:
             if spec.target is not None and spec.target != stream:
                 continue
             self._fire(spec, idx, target=stream)
+            return True
+        return False
+
+    def tile_fails(self, tile_name: str) -> bool:
+        """Does ``tile_name`` die permanently at this firing?
+
+        Queried by the tile before each firing; a ``True`` answer is
+        terminal — the tile marks itself dead and never asks again.
+        """
+        for idx, spec in self._matching(TILE_FAILURE):
+            if spec.target != tile_name:
+                continue
+            self._fire(spec, idx, target=tile_name)
             return True
         return False
 

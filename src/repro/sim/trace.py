@@ -52,13 +52,26 @@ class Kind:
     RESYNC = "resync"                      # lost credits/pointers repaired
     STREAM_FAILED = "stream_failed"        # retry cap exhausted, stream dropped
 
+    # -- reconfiguration vocabulary (online mode transitions) -------------
+    STREAM_JOIN = "stream_join"            # a stream was admitted mid-run
+    STREAM_LEAVE = "stream_leave"          # a stream left mid-run
+    TILE_FAILED = "tile_failed"            # an accelerator tile died for good
+    TILE_REMAP = "tile_remapped"           # chain remapped onto a spare tile
+    MODE_CHANGE = "mode_change"            # a hitless mode transition finished
+
     #: robustness kinds (fault/recovery bookkeeping)
     ROBUSTNESS = frozenset(
         {FAULT, WATCHDOG, RETRY, RECOVERED, DEGRADE, READMIT, RESYNC, STREAM_FAILED}
     )
 
+    #: reconfiguration kinds (churn / mode-transition bookkeeping)
+    RECONFIGURATION = frozenset(
+        {STREAM_JOIN, STREAM_LEAVE, TILE_FAILED, TILE_REMAP, MODE_CHANGE}
+    )
+
     #: kinds sufficient for metrics/conformance work (cheap to keep)
-    METRICS = frozenset({ADMIT, RECONFIGURE, COPY, BLOCK_DONE, PUT, GET}) | ROBUSTNESS
+    METRICS = (frozenset({ADMIT, RECONFIGURE, COPY, BLOCK_DONE, PUT, GET})
+               | ROBUSTNESS | RECONFIGURATION)
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,6 @@ dataflow check operates with razor-thin slack (η/γ exceeds μ by 2 parts in
 mis-reports the guarantee at this scale).
 """
 
-import pytest
 
 from repro import __main__ as cli
 

@@ -116,7 +116,7 @@ def test_gateway_admission_never_overflows_small_output(monkeypatch):
     """Sabotage the space check: the system must fail loudly, not lose data.
 
     With the check intact the same scenario runs clean (asserted first)."""
-    from repro.arch import Get, Put, TaskSpec
+    from repro.arch import Put, TaskSpec
 
     def build(sabotage):
         soc = MPSoC(n_stations=8)

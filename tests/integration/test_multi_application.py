@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.accel import CordicKernel, run_kernel
-from repro.arch import Get, Put, StreamProgram, TaskSpec
+from repro.arch import Get, Put, StreamProgram
 
 
 @pytest.fixture(scope="module")

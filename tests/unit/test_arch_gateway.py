@@ -6,7 +6,7 @@ import pytest
 
 from repro.accel import FirDecimatorKernel, MixerKernel
 from repro.arch import GatewayError, MPSoC, StreamBinding, TaskSpec
-from repro.arch import Compute, Get, Put
+from repro.arch import Get, Put
 
 
 def build_soc(etas=(4, 4), kernels=None, entry_copy=3, exit_copy=1,

@@ -69,9 +69,28 @@ def test_bus_validation():
     sim = Simulator()
     with pytest.raises(SimulationError):
         ConfigBus(sim, word_time=0)
+
+
+@pytest.mark.parametrize("words", [0, -1, -4100])
+def test_bus_transfer_rejects_nonpositive_sizes_eagerly(words):
+    """Bad sizes raise at call time, before the generator is ever iterated."""
+    sim = Simulator()
     bus = ConfigBus(sim)
-    with pytest.raises(SimulationError):
-        list(bus.transfer(-1))
+    with pytest.raises(ValueError):
+        bus.transfer(words)
+    with pytest.raises(ValueError):
+        bus.transfer_cycles(words)
+    assert bus.words_transferred == 0
+    assert bus.transactions == 0
+
+
+def test_bus_transfer_rejects_non_integer_sizes():
+    sim = Simulator()
+    bus = ConfigBus(sim)
+    with pytest.raises(ValueError):
+        bus.transfer(2.5)
+    with pytest.raises(ValueError):
+        bus.transfer_cycles("10")
 
 
 # --------------------------------------------------------------- scheduler

@@ -86,7 +86,6 @@ def test_shadow_contexts_isolated_between_streams():
 def test_shadow_switch_requires_installed_context():
     soc = MPSoC(n_stations=6)
     from repro.arch import AcceleratorTile, HardwareFifoChannel
-    from repro.arch.ring import DualRing
 
     ring = soc.ring
     cin = HardwareFifoChannel(soc.sim, ring, 0, 1, capacity=2)

@@ -10,7 +10,6 @@ from repro.core import (
     ParameterError,
     StreamSpec,
     compute_block_sizes,
-    gamma,
     guaranteed_throughput,
     optimal_block_sizes_for_buffers,
     sharing_load,

@@ -1,8 +1,6 @@
 """Unit tests for the per-actor CSDF → SDF collapse."""
 
-from fractions import Fraction
 
-import pytest
 
 from repro.dataflow import (
     CSDFGraph,

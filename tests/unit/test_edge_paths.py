@@ -1,6 +1,5 @@
 """Edge-path tests: failure branches of the composite events and analyses."""
 
-import pytest
 
 from repro.dataflow import SDFGraph, steady_state_throughput
 from repro.sim import Simulator

@@ -4,7 +4,6 @@ import pytest
 
 from repro.hwcost import (
     BillOfMaterials,
-    COMPONENTS,
     CostError,
     compare_sharing,
     component,
