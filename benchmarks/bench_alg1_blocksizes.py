@@ -14,6 +14,8 @@ from fractions import Fraction
 
 from repro.app import PAPER_BLOCK_SIZES, pal_block_sizes, pal_gateway_system
 from repro.core import compute_block_sizes, throughput_satisfied
+from repro.exp import Sweep, run_sweep
+from repro.exp.tasks import pal_blocksizes
 
 from conftest import banner
 
@@ -44,6 +46,28 @@ def test_alg1_exact_paper_values_with_margin(benchmark):
           f"stage-2: {sizes['ch1.s2']} (paper 1267)")
     assert sizes["ch1.s1"] == 10136
     assert sizes["ch1.s2"] == 1267
+
+
+def test_alg1_margin_sweep_engine(benchmark):
+    """The rate-margin sweep through repro.exp: nominal vs prototype margin."""
+    sweep = Sweep.grid(
+        "alg1_margins", pal_blocksizes, axes={"margin_ppm": [0, 635, 1270]}
+    )
+
+    def run():
+        result = run_sweep(sweep, workers=1)
+        return {o.params["margin_ppm"]: o.value["block_sizes"] for o in result.succeeded}
+
+    by_margin = benchmark(run)
+    banner("ALG1 margin sweep via repro.exp (0 / 635 / 1270 ppm)")
+    for ppm, sizes in sorted(by_margin.items()):
+        print(f"  {ppm:>5} ppm: s1={sizes['ch1.s1']}, s2={sizes['ch1.s2']}")
+    # the prototype's 0.127% margin lands on the paper's exact values
+    assert by_margin[1270]["ch1.s1"] == 10136
+    assert by_margin[1270]["ch1.s2"] == 1267
+    # tighter margins never allow larger blocks
+    s1 = [by_margin[p]["ch1.s1"] for p in (0, 635, 1270)]
+    assert s1 == sorted(s1)
 
 
 def test_alg1_minimality(benchmark, pal_system):

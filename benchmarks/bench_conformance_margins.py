@@ -7,67 +7,65 @@ system shapes — entry-copy cost, accelerator firing duration, block-size
 mix, reconfiguration weight — checks every observed block against the
 calibrated bounds, and reports the tightest margins seen.  Zero violations
 across the sweep is the executable form of the temporal-refinement claim.
+
+The sweep itself is a :class:`repro.exp.Sweep` over the ``conformance``
+task, so each row here is exactly one point payload of the sweep engine.
 """
 
 from fractions import Fraction
 
-from repro.arch import simulate_system
-from repro.core import AcceleratorSpec, GatewaySystem, StreamSpec
+from repro.exp import Sweep, run_sweep
+from repro.exp.tasks import conformance_margins
 
 from conftest import banner
 
-SLOW = Fraction(1, 10**9)  # rates far below capacity: Eq. 5 never binds
-
-SWEEP = [
-    # (label, entry_copy, exit_copy, rhos, R, etas)
-    ("paper-like eps=15", 15, 1, (1, 1), 200, (16, 8)),
-    ("tight entry eps=8", 8, 1, (1, 1), 200, (15, 4)),
-    ("fat accelerator", 5, 2, (9,), 60, (12, 6)),
-    ("reconfig heavy", 10, 1, (2, 2), 500, (24, 24)),
-    ("three streams", 6, 3, (3,), 50, (30, 22, 18)),
-    ("single stream", 15, 1, (1, 1), 100, (20,)),
+CONF_POINTS = [
+    {"id": "paper-like eps=15",
+     "params": {"entry_copy": 15, "exit_copy": 1, "rhos": [1, 1],
+                "reconfigure": 200, "etas": [16, 8]}},
+    {"id": "tight entry eps=8",
+     "params": {"entry_copy": 8, "exit_copy": 1, "rhos": [1, 1],
+                "reconfigure": 200, "etas": [15, 4]}},
+    {"id": "fat accelerator",
+     "params": {"entry_copy": 5, "exit_copy": 2, "rhos": [9],
+                "reconfigure": 60, "etas": [12, 6]}},
+    {"id": "reconfig heavy",
+     "params": {"entry_copy": 10, "exit_copy": 1, "rhos": [2, 2],
+                "reconfigure": 500, "etas": [24, 24]}},
+    {"id": "three streams",
+     "params": {"entry_copy": 6, "exit_copy": 3, "rhos": [3],
+                "reconfigure": 50, "etas": [30, 22, 18]}},
+    {"id": "single stream",
+     "params": {"entry_copy": 15, "exit_copy": 1, "rhos": [1, 1],
+                "reconfigure": 100, "etas": [20]}},
 ]
 
-
-def make(entry, exit_, rhos, R, etas):
-    return GatewaySystem(
-        accelerators=tuple(
-            AcceleratorSpec(f"a{i}", r) for i, r in enumerate(rhos)
-        ),
-        streams=tuple(
-            StreamSpec(f"s{i}", SLOW, R, block_size=e)
-            for i, e in enumerate(etas)
-        ),
-        entry_copy=entry,
-        exit_copy=exit_,
-    )
+CONF_SWEEP = Sweep("conf_margins", conformance_margins, CONF_POINTS)
 
 
-def run_sweep(blocks=3):
-    rows = []
-    for label, entry, exit_, rhos, R, etas in SWEEP:
-        system = make(entry, exit_, rhos, R, etas)
-        run = simulate_system(system, blocks=blocks)
-        report = run.conformance()
-        rows.extend((label, sc) for sc in report.streams)
-    return rows
+def run_conf_sweep():
+    result = run_sweep(CONF_SWEEP, workers=1)
+    assert not result.failed, [o.error for o in result.failed]
+    return [(o.id, row) for o in result.succeeded for row in o.value["streams"]]
 
 
 def test_conformance_margins_zero_violations(benchmark):
-    rows = benchmark(run_sweep)
-    banner("CONF — observed vs calibrated Eq. 2–5 bounds")
+    rows = benchmark(run_conf_sweep)
+    banner("CONF — observed vs calibrated Eq. 2–5 bounds (via repro.exp)")
     print(f"{'config':<20} {'stream':<6} {'τ margin':>9} {'ε margin':>9} "
           f"{'γ margin':>9}")
     worst_tau = worst_gamma = None
-    for label, sc in rows:
-        tm, wm, gm = sc.block_time_margin, sc.wait_margin, sc.turnaround_margin
-        print(f"{label:<20} {sc.stream:<6} {str(tm):>9} {str(wm):>9} "
+    for label, row in rows:
+        tm = row["block_time_margin"]
+        wm = row["wait_margin"]
+        gm = row["turnaround_margin"]
+        print(f"{label:<20} {row['stream']:<6} {str(tm):>9} {str(wm):>9} "
               f"{str(gm):>9}")
         if tm is not None and (worst_tau is None or tm < worst_tau):
             worst_tau = tm
         if gm is not None and (worst_gamma is None or gm < worst_gamma):
             worst_gamma = gm
-        assert sc.ok, [str(v) for v in sc.violations]
+        assert row["ok"], row["violations"]
     print(f"tightest τ margin: {worst_tau} cycles, "
           f"tightest γ margin: {worst_gamma} cycles")
     # the calibration is tight, not vacuous: some config comes within a
@@ -77,13 +75,13 @@ def test_conformance_margins_zero_violations(benchmark):
 
 
 def test_conformance_throughput_guarantee(benchmark):
-    rows = benchmark(run_sweep)
+    rows = benchmark(run_conf_sweep)
     banner("CONF — achieved throughput vs η/γ guarantee (Eq. 5)")
-    for label, sc in rows:
-        thr = sc.achieved_throughput
-        if thr is None:
+    for label, row in rows:
+        if row["achieved_throughput"] is None:
             continue
-        guar = sc.bounds.guaranteed_throughput
-        print(f"{label:<20} {sc.stream:<6} achieved {float(thr):.5f} "
+        thr = Fraction(row["achieved_throughput"])
+        guar = Fraction(row["guaranteed_throughput"])
+        print(f"{label:<20} {row['stream']:<6} achieved {float(thr):.5f} "
               f">= guaranteed {float(guar):.5f}")
         assert thr >= guar

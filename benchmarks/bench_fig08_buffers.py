@@ -4,13 +4,21 @@ Paper Fig. 8b table (reconstructed): η_s = 1..5 → α_s = 5, 6, 7, 8, 5 for
 the two-actor model of Fig. 8a (producer bursts η_s tokens, consumer drains
 5 per firing).  Reproduced EXACTLY by the deadlock-free minimum capacity;
 the max-throughput minimum shows the same non-monotone shape shifted up.
+The η sweep runs through the :mod:`repro.exp` engine (``fig8-buffers``
+task), so the table here is the same payload ``repro sweep`` persists.
 """
 
-from repro.dataflow import SDFGraph, min_capacity_for_liveness, min_capacity_single
+from repro.dataflow import SDFGraph, min_capacity_single
+from repro.exp import Sweep, run_sweep
+from repro.exp.tasks import fig8_min_buffer
 
 from conftest import banner
 
 PAPER_TABLE = {1: 5, 2: 6, 3: 7, 4: 8, 5: 5}
+
+FIG8_SWEEP = Sweep.grid(
+    "fig8_buffers", fig8_min_buffer, axes={"eta": [1, 2, 3, 4, 5]}
+)
 
 
 def fig8_graph(eta: int) -> SDFGraph:
@@ -22,7 +30,8 @@ def fig8_graph(eta: int) -> SDFGraph:
 
 
 def compute_table() -> dict[int, int]:
-    return {eta: min_capacity_for_liveness(fig8_graph(eta), "ch") for eta in range(1, 6)}
+    result = run_sweep(FIG8_SWEEP, workers=1)
+    return {o.value["eta"]: o.value["alpha"] for o in result.succeeded}
 
 
 def test_fig8_buffer_table_exact(benchmark):

@@ -1,0 +1,104 @@
+"""KERN: microbenchmarks of the discrete-event kernel hot path.
+
+Every architecture result in this repo is produced by the heapq event loop
+in :mod:`repro.sim.kernel`; the sweep engine multiplies how often it runs.
+These benches pin down the loop's per-event cost on three workloads —
+a timeout storm (pure scheduling), same-cycle bursts (the batched-pop
+path) and a full gateway simulation (the loop under its real instruction
+mix) — and assert the optimisations change no observable behaviour
+(final clock, event order, metrics).
+"""
+
+from fractions import Fraction
+
+from repro.sim import Simulator
+
+from conftest import banner
+
+PROCS = 50
+TICKS = 200
+
+
+def timeout_storm(procs: int = PROCS, ticks: int = TICKS) -> int:
+    """`procs` generators each sleeping `ticks` staggered timeouts."""
+    sim = Simulator()
+
+    def ticker(offset):
+        for i in range(ticks):
+            yield sim.timeout(1 + (offset + i) % 3)
+
+    for p in range(procs):
+        sim.process(ticker(p), name=f"t{p}")
+    sim.run()
+    return sim.now
+
+
+def same_cycle_bursts(rounds: int = 300, width: int = 40) -> int:
+    """`width` events per cycle for `rounds` cycles: the batched-pop path."""
+    sim = Simulator()
+
+    def burster():
+        for _ in range(rounds):
+            yield sim.timeout(1)
+
+    for _ in range(width):
+        sim.process(burster())
+    sim.run()
+    return sim.now
+
+
+def bounded_run_until(procs: int = PROCS, ticks: int = TICKS) -> bool:
+    """The harness driver loop: run_until a completion event with a cap."""
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(ticks):
+            yield sim.timeout(2)
+
+    last = [sim.process(ticker(), name=f"t{p}") for p in range(procs)][-1]
+    return sim.run_until(last, limit=10 * ticks)
+
+
+def simulate_small_system():
+    from repro.arch import simulate_system
+    from repro.core import AcceleratorSpec, GatewaySystem, StreamSpec
+
+    system = GatewaySystem(
+        accelerators=(AcceleratorSpec("a", 1),),
+        streams=(
+            StreamSpec("s0", Fraction(1, 100_000), 40, block_size=8),
+            StreamSpec("s1", Fraction(1, 200_000), 40, block_size=4),
+        ),
+        entry_copy=6,
+        exit_copy=1,
+    )
+    return simulate_system(system, blocks=3, trace=False)
+
+
+def test_kernel_timeout_storm(benchmark):
+    now = benchmark(timeout_storm)
+    banner("KERN timeout storm (50 procs x 200 timeouts)")
+    print(f"final clock: {now} cycles, {PROCS * TICKS} events fired")
+    assert now == max(
+        sum(1 + (p + i) % 3 for i in range(TICKS)) for p in range(PROCS)
+    )
+
+
+def test_kernel_same_cycle_bursts(benchmark):
+    now = benchmark(same_cycle_bursts)
+    banner("KERN same-cycle bursts (40 events/cycle x 300 cycles)")
+    print(f"final clock: {now} cycles")
+    assert now == 300
+
+
+def test_kernel_bounded_run_until(benchmark):
+    finished = benchmark(bounded_run_until)
+    assert finished
+
+
+def test_kernel_under_real_simulation(benchmark):
+    run = benchmark(simulate_small_system)
+    banner("KERN full gateway simulation (2 streams x 3 blocks)")
+    print(f"horizon: {run.horizon} cycles")
+    metrics = run.metrics()
+    assert all(m.blocks_done == 3 for m in metrics.values())

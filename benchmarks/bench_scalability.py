@@ -3,33 +3,21 @@
 The paper evaluates one gateway pair with four streams; a reusable library
 must handle more.  These benches time Algorithm 1 and the closed-form
 bounds for growing stream counts and assert the results stay sound
-(feasible + minimal) as the instance grows.
+(feasible + minimal) as the instance grows.  The stream-count sweep runs
+through :mod:`repro.exp` so the timed loop is the same engine the
+``repro sweep`` CLI uses.
 """
 
-from fractions import Fraction
-
-from repro.core import (
-    AcceleratorSpec,
-    GatewaySystem,
-    StreamSpec,
-    compute_block_sizes,
-    gamma,
-    throughput_satisfied,
-)
+from repro.core import compute_block_sizes, gamma, throughput_satisfied
+from repro.exp import Sweep, run_sweep
+from repro.exp.tasks import many_streams_system, scalability_blocksizes
 
 from conftest import banner
 
 
 def many_streams(n, load_pct=70, R=4100, eps=15):
-    weights = list(range(1, n + 1))
-    base = Fraction(load_pct, 100 * eps * sum(weights))
-    return GatewaySystem(
-        accelerators=(AcceleratorSpec("acc", 1),),
-        streams=tuple(
-            StreamSpec(f"s{i}", base * w, R) for i, w in enumerate(weights)
-        ),
-        entry_copy=eps,
-        exit_copy=1,
+    return many_streams_system(
+        n, load_pct=load_pct, reconfigure=R, entry_copy=eps
     )
 
 
@@ -43,14 +31,19 @@ def test_ilp_scales_to_32_streams(benchmark):
 
 
 def test_ilp_objective_grows_smoothly(benchmark):
-    def sweep():
-        return {n: compute_block_sizes(many_streams(n)).total for n in (2, 4, 8, 16)}
+    sweep = Sweep.grid(
+        "scal_totals", scalability_blocksizes, axes={"streams": [2, 4, 8, 16]}
+    )
 
-    totals = benchmark(sweep)
-    banner("Ση vs stream count at constant 70% load")
+    def run():
+        result = run_sweep(sweep, workers=1)
+        return {o.params["streams"]: o.value["total_eta"] for o in result.succeeded}
+
+    totals = benchmark(run)
+    banner("Ση vs stream count at constant 70% load (via repro.exp)")
     for n, total in totals.items():
         print(f"  {n:>3} streams: Ση = {total}")
-    values = list(totals.values())
+    values = [totals[n] for n in (2, 4, 8, 16)]
     assert all(b > a for a, b in zip(values, values[1:]))
 
 

@@ -1,0 +1,126 @@
+"""SWEEP: the experiment engine itself — caching, determinism, fan-out.
+
+The engine's two load-bearing claims get measured and asserted here:
+
+* **bit-identity** — the same sweep run serially and on a process pool
+  produces byte-equal payload digests (chunk-scoped solver caches + fixed
+  chunk size make results independent of worker count and scheduling);
+* **cached speedup** — replica-style sweeps (same analysis system solved
+  at many points) hit the :class:`repro.exp.SolverCache` memo, cutting the
+  Algorithm-1 solve count by the replication factor.
+
+The run is persisted as ``BENCH_sweep_engine.json`` next to this file:
+digests, timings, speedups, cache counters and the host CPU count, so a
+regression in either claim is visible in the artifact diff.  Wall-clock
+parallel speedup is asserted only on hosts with ≥4 CPUs — on smaller
+machines the pool cannot beat the serial loop and the artifact records
+why.
+"""
+
+import os
+
+from repro.core.config_io import dump_report, load_report
+from repro.core import make_report
+from repro.exp import Sweep, run_sweep
+from repro.exp.tasks import scalability_blocksizes
+
+from conftest import banner
+
+#: two distinct systems × four replicas each; grid order is streams-major,
+#: so each engine chunk (size 4) sees one system — 3 memo hits per chunk.
+AXES = {"streams": [12, 16], "replica": [0, 1, 2, 3]}
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ARTIFACT = os.path.join(HERE, "BENCH_sweep_engine.json")
+
+
+def make_sweep() -> Sweep:
+    return Sweep.grid("sweep_engine", scalability_blocksizes, axes=AXES)
+
+
+def test_sweep_cache_hit_rate_and_speedup(benchmark):
+    sweep = make_sweep()
+    cold = run_sweep(sweep, workers=1, cache=False)
+    cached = benchmark(lambda: run_sweep(sweep, workers=1))
+    banner("SWEEP solver-cache speedup (serial, 2 systems x 4 replicas)")
+    stats = cached.cache
+    speedup = cold.elapsed_s / cached.elapsed_s
+    print(f"cold serial: {cold.elapsed_s * 1e3:.1f} ms, "
+          f"cached serial: {cached.elapsed_s * 1e3:.1f} ms "
+          f"({speedup:.1f}x)")
+    print(f"cache: {stats['hits']}/{stats['lookups']} hits "
+          f"({stats['hit_rate']:.0%}), {stats['warm_starts']} warm start(s)")
+    # caching must not change results...
+    assert cached.digest() == cold.digest()
+    # ...and must actually reuse: 6 of 8 lookups are memo hits
+    assert stats["hits"] == 6 and stats["hit_rate"] == 0.75
+    # dodging 6 of 8 ILP solves buys at least 2x end to end
+    assert speedup >= 2.0, f"cache speedup only {speedup:.2f}x"
+
+
+def test_sweep_serial_parallel_bit_identical(benchmark):
+    sweep = make_sweep()
+    serial = run_sweep(sweep, workers=1)
+    workers = min(4, os.cpu_count() or 1)
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(sweep, workers=max(2, workers)), rounds=1
+    )
+    banner("SWEEP serial == parallel bit-identity")
+    print(f"serial   {serial.digest()}")
+    print(f"parallel {parallel.digest()}  ({parallel.workers} workers)")
+    assert parallel.digest() == serial.digest()
+    assert [o.id for o in parallel.outcomes] == [o.id for o in serial.outcomes]
+    assert parallel.payload() == serial.payload()
+
+
+def test_sweep_engine_artifact(benchmark):
+    """One full comparison run, persisted as BENCH_sweep_engine.json."""
+    sweep = make_sweep()
+
+    def full_run():
+        cold = run_sweep(sweep, workers=1, cache=False)
+        cached = run_sweep(sweep, workers=1)
+        workers = min(4, os.cpu_count() or 1)
+        parallel = run_sweep(sweep, workers=max(2, workers))
+        return cold, cached, parallel
+
+    cold, cached, parallel = benchmark.pedantic(full_run, rounds=1)
+    identical = (cold.digest() == cached.digest() == parallel.digest())
+    report = make_report("sweep", {
+        "name": "sweep_engine",
+        "axes": AXES,
+        "points": len(sweep),
+        "bit_identical": identical,
+        "digests": {
+            "cold_serial": cold.digest(),
+            "cached_serial": cached.digest(),
+            "parallel": parallel.digest(),
+        },
+        "timing_s": {
+            "cold_serial": round(cold.elapsed_s, 4),
+            "cached_serial": round(cached.elapsed_s, 4),
+            "parallel": round(parallel.elapsed_s, 4),
+            "speedup_cache": round(cold.elapsed_s / cached.elapsed_s, 2),
+            "speedup_parallel": round(cold.elapsed_s / parallel.elapsed_s, 2),
+        },
+        "solver_cache": cached.cache,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "parallel_workers": parallel.workers,
+            "chunk_size": parallel.chunk_size,
+        },
+    })
+    with open(ARTIFACT, "w") as fh:
+        fh.write(dump_report(report) + "\n")
+    banner("SWEEP engine artifact")
+    print(f"wrote {ARTIFACT}")
+    print(f"speedup: cache {report['timing_s']['speedup_cache']}x, "
+          f"parallel {report['timing_s']['speedup_parallel']}x "
+          f"on {os.cpu_count()} CPU(s)")
+    assert identical
+    # the artifact round-trips through the versioned report schema
+    assert load_report(open(ARTIFACT).read())["kind"] == "sweep"
+    # genuine wall-clock parallel win is only physical with enough cores
+    if (os.cpu_count() or 1) >= 4 and parallel.workers >= 4:
+        speedup = cold.elapsed_s / parallel.elapsed_s
+        assert speedup >= 3.0, f"parallel speedup only {speedup:.2f}x"

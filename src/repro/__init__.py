@@ -17,6 +17,9 @@ Package map
 ``repro.app``      the PAL stereo audio decoder (functional + architectural)
 ``repro.hwcost``   Virtex-6 cost database and Table-I sharing comparison
 ``repro.sim``      discrete-event simulation kernel
+``repro.api``      unified facade: ``Scenario`` builder → ``RunResult``
+``repro.exp``      parallel experiment engine: validated sweeps, solver
+                   cache, process-pool fan-out, ``BENCH_*.json`` artifacts
 =================  ===========================================================
 
 Quickstart::
@@ -36,9 +39,9 @@ Quickstart::
     assert report.ok
 """
 
-from . import accel, app, arch, core, dataflow, hwcost, ilp, sim
+from . import accel, api, app, arch, core, dataflow, exp, hwcost, ilp, sim
 
 __version__ = "1.0.0"
 
-__all__ = ["accel", "app", "arch", "core", "dataflow", "hwcost", "ilp", "sim",
-           "__version__"]
+__all__ = ["accel", "api", "app", "arch", "core", "dataflow", "exp", "hwcost",
+           "ilp", "sim", "__version__"]

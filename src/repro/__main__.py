@@ -13,6 +13,7 @@ Usage::
     python -m repro conformance CONFIG.json [--blocks N] [--json] [--uncalibrated]
     python -m repro faults CONFIG.json --plan PLAN.json [--blocks N] [--json]
     python -m repro reconfig CONFIG.json --plan PLAN.json [--spares N] [--json]
+    python -m repro sweep SPEC.json [--workers N | --serial] [--out DIR]
 
 Each subcommand prints one reproduced artefact; together they cover the
 evaluation section.  `pytest benchmarks/ --benchmark-only -s` runs the full
@@ -23,7 +24,19 @@ observed per-stream runtime metrics, respectively the observed-vs-bound
 ``faults`` replays a fault-injection plan and prints the recovery report;
 ``reconfig`` drives runtime reconfiguration — stream joins/leaves and
 spare-tile failover — and checks the per-mode bounds, exiting non-zero on
-unattributed violations or a transition-budget overrun.
+unattributed violations or a transition-budget overrun.  ``sweep`` fans a
+parameter-sweep spec out over worker processes (:mod:`repro.exp`) and
+persists the merged results as ``BENCH_<name>.json``.
+
+The simulation subcommands are thin shells over :mod:`repro.api`
+(``Scenario`` → ``RunResult``); ``--json`` output is the versioned
+``repro.report`` envelope of :mod:`repro.core.config_io`, with the
+historical top-level keys preserved.
+
+Flag spelling is normalised across subcommands: the config is positional
+(hidden ``--config``/``--params`` aliases accepted), the cycle cap is
+``--max-cycles`` (hidden ``--cycles`` alias), work per stream is
+``--blocks`` everywhere.  See README "CLI flag conventions".
 """
 
 from __future__ import annotations
@@ -165,18 +178,52 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _build_result(args: argparse.Namespace, **extra):
+    """Build the :class:`repro.api.Scenario` an args namespace describes.
+
+    The single construction point all four simulation subcommands share —
+    this is where the CLI is re-routed through the :mod:`repro.api` facade
+    (``_simulated_run`` below remains as a deprecation shim).
+    """
+    from .api import load_scenario
+
+    scenario = (
+        load_scenario(args.config)
+        .with_blocks(args.blocks)
+        .with_backend(args.backend)
+    )
+    if getattr(args, "max_cycles", None) is not None:
+        scenario = scenario.with_max_cycles(args.max_cycles)
+    for key, value in extra.items():
+        scenario = getattr(scenario, f"with_{key}")(value)
+    return scenario.build()
+
+
 def _simulated_run(args: argparse.Namespace, **kwargs):
-    """Load a JSON system, assign block sizes if needed, simulate it."""
-    from pathlib import Path
+    """Deprecated shim: pre-facade helper returning the raw SimulationRun.
 
-    from .arch import simulate_system
-    from .core import compute_block_sizes, load_system
+    Kept for any external driver importing it; new code should build a
+    :class:`repro.api.Scenario`.
+    """
+    import warnings
 
-    system = load_system(Path(args.config).read_text())
-    if any(s.block_size is None for s in system.streams):
-        result = compute_block_sizes(system, backend=args.backend)
-        system = system.with_block_sizes(result.block_sizes)
-    return simulate_system(system, blocks=args.blocks, **kwargs)
+    warnings.warn(
+        "repro.__main__._simulated_run is deprecated; use repro.api.Scenario",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .api import load_scenario
+
+    scenario = load_scenario(args.config).with_blocks(args.blocks)
+    scenario = scenario.with_backend(args.backend)
+    if "max_cycles" in kwargs:
+        scenario = scenario.with_max_cycles(kwargs.pop("max_cycles"))
+    for key in ("faults", "spares", "watchdog", "admission"):
+        if key in kwargs:
+            scenario = getattr(scenario, f"with_{key}")(kwargs.pop(key))
+    if kwargs:
+        raise TypeError(f"unsupported simulation kwargs: {sorted(kwargs)}")
+    return scenario.build().run
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -185,17 +232,13 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
     from .sim import metrics_table
 
-    run = _simulated_run(args)
-    metrics = run.metrics()
-    util = run.utilization()
+    result = _build_result(args)
     if args.json:
-        print(json.dumps({
-            "horizon": run.horizon,
-            "streams": [m.to_dict() for m in metrics.values()],
-            "gateway": util.to_dict(),
-        }, indent=2))
+        print(json.dumps(result.report("metrics"), indent=2))
         return 0
-    print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles")
+    metrics = result.metrics()
+    util = result.utilization()
+    print(f"simulated {args.blocks} blocks/stream over {result.horizon} cycles")
     print()
     print(metrics_table(metrics.values()))
     print()
@@ -209,13 +252,16 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     """Simulate a JSON gateway system; report observed-vs-bound margins."""
     import json
 
-    run = _simulated_run(args)
-    report = run.conformance(calibrated=not args.uncalibrated)
+    result = _build_result(args)
+    report = result.conformance(calibrated=not args.uncalibrated)
     if args.json:
-        print(json.dumps({"horizon": run.horizon, **report.to_dict()}, indent=2))
+        print(json.dumps(
+            result.report("conformance", calibrated=not args.uncalibrated),
+            indent=2,
+        ))
     else:
         which = "bare-model" if args.uncalibrated else "calibrated"
-        print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles; "
+        print(f"simulated {args.blocks} blocks/stream over {result.horizon} cycles; "
               f"checking against {which} Eq. 2–5 bounds")
         print()
         print(report.summary())
@@ -258,13 +304,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
     plan = _load_fault_plan(args.plan)
     if plan is None:
         return 2
-    kwargs = {"faults": plan}
-    if args.max_cycles is not None:
-        kwargs["max_cycles"] = args.max_cycles
-    run = _simulated_run(args, **kwargs)
-    report = run.fault_report()
+    result = _build_result(args, faults=plan)
+    run = result.run
+    report = result.fault_report()
     if args.json:
-        print(json.dumps({"horizon": run.horizon, **report}, indent=2))
+        print(json.dumps(result.report("faults"), indent=2))
         return 0 if report["fully_attributed"] else 1
     print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles "
           f"under {len(plan)} fault spec(s), seed {plan.seed}")
@@ -296,10 +340,8 @@ def cmd_reconfig(args: argparse.Namespace) -> int:
     plan = _load_fault_plan(args.plan)
     if plan is None:
         return 2
-    kwargs = {"faults": plan, "spares": args.spares}
-    if args.max_cycles is not None:
-        kwargs["max_cycles"] = args.max_cycles
-    run = _simulated_run(args, **kwargs)
+    result = _build_result(args, faults=plan, spares=args.spares)
+    run = result.run
     rm = run.reconfig
     if rm is None:
         print("plan has no stream joins/leaves and no spares were "
@@ -312,13 +354,7 @@ def cmd_reconfig(args: argparse.Namespace) -> int:
     ok_budget = all(t.within_budget for t in rm.accepted)
 
     if args.json:
-        print(json.dumps({
-            "horizon": run.horizon,
-            "transitions": [t.to_dict() for t in rm.transitions],
-            "remaps": list(run.chain.remaps),
-            "modes": modal.to_dict(),
-            "fully_attributed": attributed.fully_attributed,
-        }, indent=2))
+        print(json.dumps(result.report("reconfig"), indent=2))
         return 0 if attributed.fully_attributed and ok_budget else 1
 
     print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles "
@@ -345,6 +381,92 @@ def cmd_reconfig(args: argparse.Namespace) -> int:
     print()
     print(attributed.summary())
     return 0 if attributed.fully_attributed and ok_budget else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Fan a sweep-spec JSON out over worker processes; persist BENCH JSON."""
+    import json
+    from pathlib import Path
+
+    from .exp import Sweep, SweepError, run_sweep
+    from .exp.tasks import get_task
+
+    try:
+        spec = json.loads(Path(args.spec).read_text())
+    except OSError as exc:
+        print(f"error: cannot read sweep spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.spec} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        name = spec["name"]
+        task = get_task(spec["task"])
+        if "axes" in spec:
+            sweep = Sweep.grid(name, task, spec["axes"],
+                               base=spec.get("base"), seed=spec.get("seed", 0))
+        elif "points" in spec:
+            sweep = Sweep(name, task, spec["points"], seed=spec.get("seed", 0))
+        else:
+            raise SweepError("spec needs an 'axes' grid or a 'points' list")
+    except (KeyError, TypeError, SweepError) as exc:
+        print(f"error: invalid sweep spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+
+    workers = 1 if args.serial else args.workers
+    chunk_size = spec.get("chunk_size")
+    result = run_sweep(
+        sweep, workers=workers, chunk_size=chunk_size,
+        timeout=args.timeout, retries=args.retries, out_dir=args.out,
+    )
+    path = Path(args.out) / f"BENCH_{result.name}.json"
+    cache = result.cache
+    print(f"sweep {result.name}: {len(result.outcomes)} point(s) on "
+          f"{result.workers} worker(s), chunk size {result.chunk_size}, "
+          f"{result.elapsed_s:.2f}s")
+    print(f"solver cache: {cache['hits']}/{cache['lookups']} hits "
+          f"({cache['hit_rate']:.0%}), {cache['warm_starts']} warm start(s)")
+    print(f"wrote {path}")
+    if args.check:
+        serial = run_sweep(sweep, workers=1, chunk_size=chunk_size,
+                           timeout=args.timeout, retries=args.retries)
+        if serial.digest() != result.digest():
+            print("error: serial re-run digest mismatch — "
+                  f"{serial.digest()[:16]} != {result.digest()[:16]}",
+                  file=sys.stderr)
+            return 1
+        print(f"serial re-run digest matches ({result.digest()[:16]}…)")
+    for o in result.failed:
+        print(f"  FAILED {o.id}: {o.error}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def _add_config_arg(p: argparse.ArgumentParser) -> None:
+    """Positional system config + hidden --config/--params spellings."""
+    p.add_argument("config", nargs="?", default=None,
+                   help="path to a system JSON (see repro.core.config_io)")
+    p.add_argument("--config", "--params", dest="config_opt", default=None,
+                   help=argparse.SUPPRESS)
+
+
+def _add_max_cycles_arg(p: argparse.ArgumentParser) -> None:
+    """Canonical --max-cycles + hidden legacy --cycles spelling."""
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="hard cycle cap; stalling past it is an error")
+    p.add_argument("--cycles", dest="max_cycles", type=int,
+                   help=argparse.SUPPRESS)
+
+
+def _resolve_config(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    opt = getattr(args, "config_opt", None)
+    if opt is not None:
+        if args.config is not None:
+            parser.error("give the system config either positionally or via "
+                         "--config, not both")
+        args.config = opt
+    if args.config is None:
+        parser.error("missing system config (positional CONFIG.json, or "
+                     "--config CONFIG.json)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -384,9 +506,10 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser(
         "metrics", help="simulate a JSON config; per-stream runtime metrics"
     )
-    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    _add_config_arg(p)
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
     p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_metrics)
 
@@ -394,9 +517,10 @@ def main(argv: list[str] | None = None) -> int:
         "conformance",
         help="simulate a JSON config; observed-vs-bound (Eq. 2-5) margins",
     )
-    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    _add_config_arg(p)
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
     p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--uncalibrated", action="store_true",
                    help="check against the bare model parameters instead of "
@@ -407,13 +531,12 @@ def main(argv: list[str] | None = None) -> int:
         "faults",
         help="simulate a JSON config under a fault plan; recovery report",
     )
-    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    _add_config_arg(p)
     p.add_argument("--plan", required=True,
                    help="path to a fault-plan JSON (see repro.sim.faults)")
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
     p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
-    p.add_argument("--max-cycles", type=int, default=None,
-                   help="hard cycle cap; stalling past it is an error")
+    _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_faults)
 
@@ -422,19 +545,42 @@ def main(argv: list[str] | None = None) -> int:
         help="simulate a churn plan (stream joins/leaves, tile failures) "
              "with runtime reconfiguration",
     )
-    p.add_argument("config", help="path to a system JSON (see repro.core.config_io)")
+    _add_config_arg(p)
     p.add_argument("--plan", required=True,
                    help="path to a churn/fault-plan JSON (see repro.sim.faults)")
     p.add_argument("--spares", type=int, default=0,
                    help="dormant spare accelerator tiles for failover")
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
     p.add_argument("--blocks", type=int, default=8, help="blocks per stream")
-    p.add_argument("--max-cycles", type=int, default=None,
-                   help="hard cycle cap; stalling past it is an error")
+    _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_reconfig)
 
+    p = sub.add_parser(
+        "sweep",
+        help="run a parameter-sweep spec over worker processes "
+             "(repro.exp); writes BENCH_<name>.json",
+    )
+    p.add_argument("spec", help="path to a sweep-spec JSON "
+                                "(name, task, axes/points, base, seed)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: min(4, cpu count))")
+    p.add_argument("--serial", action="store_true",
+                   help="run in-process (identical results, no pool)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock limit in seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts per failing point")
+    p.add_argument("--out", default=".",
+                   help="directory for BENCH_<name>.json (default: cwd)")
+    p.add_argument("--check", action="store_true",
+                   help="re-run serially and verify the merged results are "
+                        "bit-identical")
+    p.set_defaults(fn=cmd_sweep)
+
     args = parser.parse_args(argv)
+    if hasattr(args, "config_opt"):
+        _resolve_config(args, parser)
     return args.fn(args)
 
 

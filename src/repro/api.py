@@ -1,0 +1,318 @@
+"""Unified facade over the analysis + simulation entry points.
+
+Historically, driving the toolkit end to end meant stitching together four
+scattered entry points: :func:`repro.arch.harness.simulate_system` for the
+cycle-level run, :mod:`repro.core.conformance` for the Eq. 2–5 checks,
+:mod:`repro.sim.faults` for injection plans and
+:mod:`repro.arch.reconfig` for churn.  This module wraps them behind one
+builder::
+
+    from repro.api import Scenario
+
+    result = (
+        Scenario(system)
+        .with_blocks(8)
+        .with_faults(plan)
+        .with_spares(1)
+        .build()
+    )
+    result.conformance().ok
+    result.report()          # versioned repro.report envelope
+
+A :class:`Scenario` is immutable; every ``with_*`` call returns a new one,
+so partially-configured scenarios can be shared and forked (the sweep
+engine relies on this).  :meth:`Scenario.build` solves Algorithm 1 when
+block sizes are missing (optionally through a
+:class:`repro.exp.SolverCache`), runs the architecture simulation and
+returns a :class:`RunResult` carrying metrics, conformance, fault recovery
+and reconfiguration views plus the unified report schema of
+:mod:`repro.core.config_io`.
+
+The old entry points remain supported; :func:`simulate` is a thin
+deprecation shim with the exact ``simulate_system`` signature for call
+sites migrating incrementally.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from .core.blocksize_ilp import BlockSizeResult, resolve_block_sizes
+from .core.config_io import load_system, make_report
+from .core.conformance import (
+    AttributedReport,
+    ConformanceReport,
+    ModalConformanceReport,
+)
+from .core.params import GatewaySystem, ParameterError
+from .sim.faults import AdmissionController, FaultPlan, WatchdogConfig
+from .sim.metrics import GatewayUtilization, StreamMetrics
+
+__all__ = ["Scenario", "RunResult", "load_scenario", "simulate"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Immutable description of one end-to-end run.
+
+    Parameters mirror :func:`repro.arch.harness.simulate_system`; the
+    builder methods exist so call sites read as a sentence and unset fields
+    keep their defaults.
+    """
+
+    system: GatewaySystem
+    blocks: int = 4
+    backend: str = "scipy"
+    faults: FaultPlan | None = None
+    spares: int = 0
+    watchdog: WatchdogConfig | None = None
+    admission: AdmissionController | bool | None = None
+    max_cycles: int | None = None
+    poll_interval: int = 1
+    trace: bool = True
+    trace_mode: str = "full"
+    context_mode: str = "software"
+
+    # -- builder steps ---------------------------------------------------
+    def with_blocks(self, blocks: int) -> "Scenario":
+        """Blocks to complete per stream."""
+        return replace(self, blocks=int(blocks))
+
+    def with_backend(self, backend: str) -> "Scenario":
+        """ILP backend used when block sizes must be solved ('scipy'|'bnb')."""
+        return replace(self, backend=backend)
+
+    def with_faults(self, plan: FaultPlan) -> "Scenario":
+        """Arm a fault-injection / churn plan."""
+        return replace(self, faults=plan)
+
+    def with_spares(self, spares: int) -> "Scenario":
+        """Provision dormant cold-spare tiles for tile-failure failover."""
+        return replace(self, spares=int(spares))
+
+    def with_watchdog(self, watchdog: WatchdogConfig | None) -> "Scenario":
+        """Override the default calibrated watchdog."""
+        return replace(self, watchdog=watchdog)
+
+    def with_admission(
+        self, admission: AdmissionController | bool | None
+    ) -> "Scenario":
+        """Override (or disable, with ``False``) graceful degradation."""
+        return replace(self, admission=admission)
+
+    def with_max_cycles(self, max_cycles: int | None) -> "Scenario":
+        """Hard cycle cap; stalling past it raises ``SimulationStalled``."""
+        return replace(
+            self, max_cycles=None if max_cycles is None else int(max_cycles)
+        )
+
+    def with_trace(self, trace: bool, mode: str = "full") -> "Scenario":
+        """Toggle the structured tracer (and its ring/aggregate mode)."""
+        return replace(self, trace=trace, trace_mode=mode)
+
+    def with_block_sizes(self, sizes: dict[str, int]) -> "Scenario":
+        """Pin block sizes instead of solving Algorithm 1 at build time."""
+        return replace(self, system=self.system.with_block_sizes(sizes))
+
+    # -- execution -------------------------------------------------------
+    def solve(self, cache: Any | None = None) -> "Scenario":
+        """Assign block sizes via Algorithm 1 if any stream lacks one.
+
+        ``cache`` may be a :class:`repro.exp.SolverCache` (anything with a
+        matching ``resolve(system, backend=...)``) to memoize / warm-start
+        the solve across neighbouring scenarios.
+        """
+        if all(s.block_size is not None for s in self.system.streams):
+            return self
+        result = self._resolve(cache)
+        return replace(self, system=self.system.with_block_sizes(result.block_sizes))
+
+    def build(self, cache: Any | None = None) -> "RunResult":
+        """Solve (if needed), simulate, and wrap the outcome."""
+        from .arch.harness import simulate_system
+
+        solver: BlockSizeResult | None = None
+        system = self.system
+        if any(s.block_size is None for s in system.streams):
+            solver = self._resolve(cache)
+            system = system.with_block_sizes(solver.block_sizes)
+        kwargs: dict[str, Any] = {
+            "blocks": self.blocks,
+            "trace": self.trace,
+            "trace_mode": self.trace_mode,
+            "poll_interval": self.poll_interval,
+            "context_mode": self.context_mode,
+            "faults": self.faults,
+            "watchdog": self.watchdog,
+            "admission": self.admission,
+            "spares": self.spares,
+        }
+        if self.max_cycles is not None:
+            kwargs["max_cycles"] = self.max_cycles
+        run = simulate_system(system, **kwargs)
+        return RunResult(scenario=self, run=run, solver=solver)
+
+    def _resolve(self, cache: Any | None) -> BlockSizeResult:
+        if cache is not None:
+            return cache.resolve(self.system, backend=self.backend)
+        return resolve_block_sizes(self.system, backend=self.backend)
+
+
+def load_scenario(source: str | Path) -> Scenario:
+    """Build a :class:`Scenario` from a system-JSON file path or JSON text."""
+    text = source
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith("{")
+    ):
+        try:
+            text = Path(source).read_text()
+        except OSError as err:
+            raise ParameterError(f"cannot read scenario config {source}: {err}") from err
+    return Scenario(system=load_system(text))
+
+
+@dataclass
+class RunResult:
+    """A completed scenario: simulation handle plus every derived view.
+
+    The underlying :class:`~repro.arch.harness.SimulationRun` stays
+    reachable as ``.run`` for anything the facade does not surface.
+    """
+
+    scenario: Scenario
+    run: Any  # repro.arch.harness.SimulationRun (kept Any: arch imports api-free)
+    solver: BlockSizeResult | None = None
+    _metrics: dict[str, StreamMetrics] | None = field(default=None, repr=False)
+
+    # -- raw views -------------------------------------------------------
+    @property
+    def system(self) -> GatewaySystem:
+        """The simulated system (block sizes assigned)."""
+        return self.run.system
+
+    @property
+    def horizon(self) -> int:
+        return self.run.horizon
+
+    @property
+    def reconfig(self):
+        """Reconfiguration manager of a churn run, else ``None``."""
+        return self.run.reconfig
+
+    @property
+    def chain(self):
+        return self.run.chain
+
+    def metrics(self) -> dict[str, StreamMetrics]:
+        """Per-stream observed metrics (cached: derivation walks the trace)."""
+        if self._metrics is None:
+            self._metrics = self.run.metrics()
+        return self._metrics
+
+    def utilization(self) -> GatewayUtilization:
+        return self.run.utilization()
+
+    def conformance(self, calibrated: bool = True) -> ConformanceReport:
+        return self.run.conformance(calibrated=calibrated)
+
+    def mode_conformance(self, calibrated: bool = True) -> ModalConformanceReport:
+        return self.run.mode_conformance(calibrated=calibrated)
+
+    def attributed_conformance(self, calibrated: bool = True) -> AttributedReport:
+        return self.run.attributed_conformance(calibrated=calibrated)
+
+    def fault_report(self) -> dict:
+        return self.run.fault_report()
+
+    # -- unified report schema -------------------------------------------
+    def report(self, kind: str = "run", calibrated: bool = True) -> dict[str, Any]:
+        """The run as a versioned ``repro.report`` envelope.
+
+        ``kind`` selects the body: ``"metrics"``, ``"conformance"``,
+        ``"faults"`` and ``"reconfig"`` reproduce the historical CLI JSON
+        shapes (plus the envelope fields); ``"run"`` (default) merges every
+        available section — metrics, gateway utilization, conformance,
+        solver stats, and, when armed, fault recovery and transitions.
+        """
+        if kind == "metrics":
+            return make_report("metrics", self._metrics_body())
+        if kind == "conformance":
+            return make_report("conformance", {
+                "horizon": self.horizon,
+                **self.conformance(calibrated=calibrated).to_dict(),
+            })
+        if kind == "faults":
+            return make_report("faults", {
+                "horizon": self.horizon,
+                **self.fault_report(),
+            })
+        if kind == "reconfig":
+            return make_report("reconfig", self._reconfig_body(calibrated))
+        if kind != "run":
+            raise ParameterError(
+                f"unknown report kind {kind!r}; expected one of "
+                "'run', 'metrics', 'conformance', 'faults', 'reconfig'"
+            )
+        body = self._metrics_body()
+        body["conformance"] = self.conformance(calibrated=calibrated).to_dict()
+        if self.solver is not None:
+            body["solver"] = {
+                "backend": self.solver.backend,
+                "objective": self.solver.objective,
+                "load": float(self.solver.load),
+                "warm_start": self.solver.warm_start,
+            }
+        if self.run.injector is not None:
+            body["faults"] = self.fault_report()
+        if self.reconfig is not None:
+            body["transitions"] = [
+                t.to_dict() for t in self.reconfig.transitions
+            ]
+            body["remaps"] = [list(r) for r in self.chain.remaps]
+        return make_report("run", body)
+
+    def _metrics_body(self) -> dict[str, Any]:
+        return {
+            "horizon": self.horizon,
+            "streams": [m.to_dict() for m in self.metrics().values()],
+            "gateway": self.utilization().to_dict(),
+        }
+
+    def _reconfig_body(self, calibrated: bool) -> dict[str, Any]:
+        rm = self.reconfig
+        if rm is None:
+            raise ParameterError(
+                "reconfig report needs a churn run (no joins/leaves scheduled "
+                "and no spares provisioned)"
+            )
+        return {
+            "horizon": self.horizon,
+            "transitions": [t.to_dict() for t in rm.transitions],
+            "remaps": [list(r) for r in self.chain.remaps],
+            "modes": self.mode_conformance(calibrated=calibrated).to_dict(),
+            "fully_attributed": self.attributed_conformance(
+                calibrated=calibrated
+            ).fully_attributed,
+        }
+
+
+def simulate(system: GatewaySystem, **kwargs: Any):
+    """Deprecated shim: old-style direct simulation call.
+
+    Kept so pre-facade call sites (``from repro.api import simulate``)
+    migrate incrementally; new code should use :class:`Scenario`.  Accepts
+    exactly the :func:`repro.arch.harness.simulate_system` keyword surface
+    and returns the raw :class:`~repro.arch.harness.SimulationRun`.
+    """
+    warnings.warn(
+        "repro.api.simulate() is a compatibility shim; build a "
+        "repro.api.Scenario instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .arch.harness import simulate_system
+
+    return simulate_system(system, **kwargs)

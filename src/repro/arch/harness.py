@@ -417,21 +417,14 @@ def simulate_system(
     if max_cycles is not None:
         cap = max_cycles
     if churn:
-        while not book.complete(reconfig):
-            nxt = soc.sim.peek()
-            if nxt is None or nxt > cap:
-                break
-            soc.sim.step()
-        if max_cycles is not None and not book.complete(reconfig):
+        finished = soc.sim.run_while(
+            lambda: not book.complete(reconfig), cap
+        )
+        if max_cycles is not None and not finished:
             raise SimulationStalled(_stall_diagnostic(chain, blocks, soc.sim.now))
     else:
         done = soc.sim.process(_wait_for(drained, len(configs)))
-        while not done.processed:
-            nxt = soc.sim.peek()
-            if nxt is None or nxt > cap:
-                break
-            soc.sim.step()
-        if max_cycles is not None and not done.processed:
+        if not soc.sim.run_until(done, cap) and max_cycles is not None:
             raise SimulationStalled(_stall_diagnostic(chain, blocks, soc.sim.now))
     return SimulationRun(
         system=system, soc=soc, chain=chain, blocks=blocks,

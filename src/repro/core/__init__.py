@@ -26,7 +26,19 @@ from .blocksize_ilp import (
     sharing_load,
     system_fingerprint,
 )
-from .config_io import dump_system, load_system, system_from_dict, system_to_dict
+from .config_io import (
+    REPORT_KINDS,
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_VERSION,
+    ReportError,
+    dump_report,
+    dump_system,
+    load_report,
+    load_system,
+    make_report,
+    system_from_dict,
+    system_to_dict,
+)
 from .conformance import (
     AttributedReport,
     Attribution,
@@ -110,6 +122,13 @@ __all__ = [
     "load_system",
     "system_from_dict",
     "system_to_dict",
+    "REPORT_KINDS",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "ReportError",
+    "dump_report",
+    "load_report",
+    "make_report",
     "epsilon_hat",
     "gamma",
     "guaranteed_throughput",

@@ -25,7 +25,19 @@ from typing import Any
 
 from .params import AcceleratorSpec, GatewaySystem, ParameterError, StreamSpec
 
-__all__ = ["system_to_dict", "system_from_dict", "dump_system", "load_system"]
+__all__ = [
+    "system_to_dict",
+    "system_from_dict",
+    "dump_system",
+    "load_system",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "REPORT_KINDS",
+    "ReportError",
+    "make_report",
+    "dump_report",
+    "load_report",
+]
 
 
 def system_to_dict(system: GatewaySystem) -> dict[str, Any]:
@@ -104,3 +116,91 @@ def load_system(text: str) -> GatewaySystem:
     except json.JSONDecodeError as err:
         raise ParameterError(f"invalid system JSON: {err}") from err
     return system_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Report schema — one JSON envelope for every machine-readable result
+# ---------------------------------------------------------------------------
+#
+# Before this schema existed the repo emitted three overlapping ad-hoc
+# dicts: StreamMetrics dumps (``metrics --json``), conformance reports
+# (``conformance --json``) and reconfiguration transition tables
+# (``reconfig --json``), each with its own shape and no version marker.
+# Every machine-readable artifact — CLI ``--json`` output, ``BENCH_*.json``
+# sweep payloads, :meth:`repro.api.RunResult.report` — now shares one
+# envelope::
+#
+#     {"schema": "repro.report", "version": 1, "kind": "<kind>", ...body...}
+#
+# Body keys live at the top level next to the envelope fields, so pre-schema
+# consumers that indexed e.g. ``blob["streams"]`` keep working unchanged.
+
+REPORT_SCHEMA = "repro.report"
+REPORT_SCHEMA_VERSION = 1
+
+#: every report kind the toolkit emits; ``load_report`` rejects others
+REPORT_KINDS = frozenset(
+    {"metrics", "conformance", "faults", "reconfig", "run", "sweep"}
+)
+
+_ENVELOPE_KEYS = ("schema", "version", "kind")
+
+
+class ReportError(ParameterError):
+    """Raised for malformed or unsupported report envelopes."""
+
+
+def make_report(kind: str, body: dict[str, Any]) -> dict[str, Any]:
+    """Wrap ``body`` in the versioned report envelope.
+
+    ``body`` keys must not collide with the envelope fields; the result is a
+    plain JSON-serialisable dict with the envelope fields first.
+    """
+    if kind not in REPORT_KINDS:
+        raise ReportError(
+            f"unknown report kind {kind!r}; expected one of {sorted(REPORT_KINDS)}"
+        )
+    clash = [k for k in _ENVELOPE_KEYS if k in body]
+    if clash:
+        raise ReportError(f"report body shadows envelope key(s): {clash}")
+    return {
+        "schema": REPORT_SCHEMA,
+        "version": REPORT_SCHEMA_VERSION,
+        "kind": kind,
+        **body,
+    }
+
+
+def dump_report(report: dict[str, Any], indent: int | None = 2) -> str:
+    """Serialise a report envelope to JSON (validates the envelope first)."""
+    _check_envelope(report)
+    return json.dumps(report, indent=indent)
+
+
+def load_report(text: str) -> dict[str, Any]:
+    """Parse and validate a report envelope produced by :func:`dump_report`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ReportError(f"invalid report JSON: {err}") from err
+    if not isinstance(data, dict):
+        raise ReportError(f"report must be a JSON object, got {type(data).__name__}")
+    _check_envelope(data)
+    return data
+
+
+def _check_envelope(report: dict[str, Any]) -> None:
+    missing = [k for k in _ENVELOPE_KEYS if k not in report]
+    if missing:
+        raise ReportError(f"report missing envelope key(s): {missing}")
+    if report["schema"] != REPORT_SCHEMA:
+        raise ReportError(
+            f"unknown report schema {report['schema']!r} (expected {REPORT_SCHEMA!r})"
+        )
+    if report["version"] != REPORT_SCHEMA_VERSION:
+        raise ReportError(
+            f"unsupported report version {report['version']!r} "
+            f"(this build reads version {REPORT_SCHEMA_VERSION})"
+        )
+    if report["kind"] not in REPORT_KINDS:
+        raise ReportError(f"unknown report kind {report['kind']!r}")

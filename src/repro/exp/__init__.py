@@ -1,0 +1,46 @@
+"""Parallel experiment engine for parameter sweeps (``repro.exp``).
+
+The paper's evaluation is a family of parameter sweeps; this package turns
+those loops into declarative, validated, parallel experiments::
+
+    from repro.exp import Sweep, run_sweep, tasks
+
+    sweep = Sweep.grid(
+        "scalability",
+        tasks.scalability_blocksizes,
+        axes={"streams": [2, 4, 8, 16], "load_pct": [50, 70, 90]},
+    )
+    result = run_sweep(sweep, workers=4, out_dir=".")   # BENCH_scalability.json
+    assert result.digest() == run_sweep(sweep, workers=1).digest()
+
+Guarantees: eager spec validation (bad grids fail before any worker
+spawns), deterministic per-point seeding, chunk-local solver caching with
+warm starts, and bit-identical merged results for any worker count.
+"""
+
+from . import tasks
+from .cache import SolverCache
+from .engine import (
+    DEFAULT_CHUNK_SIZE,
+    PointContext,
+    PointOutcome,
+    SweepResult,
+    run_sweep,
+    write_benchmark,
+)
+from .sweep import Sweep, SweepError, SweepPoint, point_seed
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "PointContext",
+    "PointOutcome",
+    "SolverCache",
+    "Sweep",
+    "SweepError",
+    "SweepPoint",
+    "SweepResult",
+    "point_seed",
+    "run_sweep",
+    "tasks",
+    "write_benchmark",
+]

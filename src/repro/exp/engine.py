@@ -1,0 +1,315 @@
+"""The parallel experiment engine: fan a :class:`~repro.exp.sweep.Sweep` out.
+
+Execution model
+---------------
+
+Points are split into fixed-size *chunks* (consecutive slices in point
+order).  Each chunk is evaluated by one worker process via
+:class:`concurrent.futures.ProcessPoolExecutor`; within a chunk, points
+run serially against a fresh chunk-local :class:`~repro.exp.cache.SolverCache`,
+so warm starts flow between neighbouring points of the same chunk.  Serial
+mode (``workers <= 1``) runs the *same* chunks in the same order in
+process — which is what makes the central guarantee possible:
+
+    **serial and parallel execution produce bit-identical merged
+    results**, because every deterministic input of a point (its params,
+    its seed, its chunk-local cache history) is independent of worker
+    count and scheduling.
+
+Wall-clock timings and worker attribution are recorded separately in the
+report's ``execution`` section, which is explicitly excluded from
+:meth:`SweepResult.digest`.
+
+Per-point guard rails: a point that raises is retried up to ``retries``
+times (each attempt re-seeded deterministically) and then recorded as a
+failed outcome instead of poisoning the run; an optional wall-clock
+``timeout`` per point is enforced in-worker via ``SIGALRM`` on platforms
+that have it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.config_io import dump_report, make_report
+from .cache import SolverCache
+from .sweep import Sweep, SweepError, SweepPoint
+
+__all__ = [
+    "PointContext",
+    "PointOutcome",
+    "SweepResult",
+    "run_sweep",
+    "write_benchmark",
+]
+
+#: default chunk length — a deterministic constant (NOT derived from the
+#: worker count: chunking shapes warm-start history, and serial vs parallel
+#: runs must chunk identically for bit-identical results)
+DEFAULT_CHUNK_SIZE = 4
+
+
+@dataclass(frozen=True)
+class PointContext:
+    """What a task sees besides its params: seed, attempt, solver cache."""
+
+    seed: int
+    attempt: int = 0
+    cache: SolverCache | None = None
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Result of one point: either a ``value`` dict or an ``error`` string."""
+
+    id: str
+    params: dict[str, Any]
+    seed: int
+    value: dict[str, Any] | None
+    error: str | None = None
+    attempts: int = 1
+    wall_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def payload(self) -> dict[str, Any]:
+        """The deterministic slice (no timings) used for digests."""
+        return {
+            "id": self.id,
+            "params": self.params,
+            "seed": self.seed,
+            "value": self.value,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Merged outcome of a sweep run plus execution metadata."""
+
+    name: str
+    outcomes: list[PointOutcome]
+    workers: int
+    chunk_size: int
+    elapsed_s: float
+    cache: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def succeeded(self) -> list[PointOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> list[PointOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def payload(self) -> list[dict[str, Any]]:
+        """Deterministic merged results, in sweep point order."""
+        return [o.payload() for o in self.outcomes]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of :meth:`payload`.
+
+        Two runs of the same sweep — any worker count, any scheduling —
+        must produce equal digests; the executable form of the engine's
+        determinism guarantee.
+        """
+        blob = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def to_report(self) -> dict[str, Any]:
+        """The run as a versioned ``repro.report`` envelope (kind=sweep)."""
+        return make_report("sweep", {
+            "name": self.name,
+            "points": self.payload(),
+            "digest": self.digest(),
+            "execution": {
+                "workers": self.workers,
+                "chunk_size": self.chunk_size,
+                "elapsed_s": self.elapsed_s,
+                "failed_points": [o.id for o in self.failed],
+                "wall_ms": {o.id: o.wall_ms for o in self.outcomes},
+                "solver_cache": self.cache,
+            },
+        })
+
+    def write(self, directory: str | Path = ".") -> Path:
+        """Persist as ``BENCH_<name>.json``; returns the path written."""
+        return write_benchmark(self, directory)
+
+
+def write_benchmark(result: SweepResult, directory: str | Path = ".") -> Path:
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{result.name}.json"
+    path.write_text(dump_report(result.to_report()) + "\n")
+    return path
+
+
+def run_sweep(
+    sweep: Sweep,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    cache: bool = True,
+    out_dir: str | Path | None = None,
+) -> SweepResult:
+    """Execute ``sweep`` and merge the outcomes in point order.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``None`` picks ``min(4, cpu_count)``, ``<= 1``
+        runs serially in-process (identical results by construction).
+    chunk_size:
+        Points per chunk (default :data:`DEFAULT_CHUNK_SIZE`).  Must be
+        identical between runs whose digests are compared.
+    timeout:
+        Per-point wall-clock limit in seconds (in-worker ``SIGALRM``;
+        silently unenforced on platforms without it).  A timed-out attempt
+        counts as a failure and is retried like any other error.
+    retries:
+        Extra attempts per failing point before recording the error.
+    cache:
+        Arm the chunk-local :class:`SolverCache` (disable for cold-solve
+        baselines).
+    out_dir:
+        When given, persist ``BENCH_<name>.json`` there before returning.
+    """
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise SweepError(f"chunk_size must be >= 1, got {chunk_size}")
+    if retries < 0:
+        raise SweepError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise SweepError(f"timeout must be positive, got {timeout}")
+
+    chunks = [
+        sweep.points[i:i + chunk_size]
+        for i in range(0, len(sweep.points), chunk_size)
+    ]
+    started = time.perf_counter()
+    if workers <= 1:
+        parts = [
+            _run_chunk(sweep.task, chunk, retries, timeout, cache)
+            for chunk in chunks
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_chunk, sweep.task, chunk, retries, timeout, cache)
+                for chunk in chunks
+            ]
+            parts = [f.result() for f in futures]
+    elapsed = time.perf_counter() - started
+
+    outcomes: list[PointOutcome] = []
+    totals = {"lookups": 0, "hits": 0, "misses": 0, "warm_starts": 0}
+    for chunk_outcomes, stats in parts:
+        outcomes.extend(chunk_outcomes)
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    totals["hit_rate"] = (
+        totals["hits"] / totals["lookups"] if totals["lookups"] else 0.0
+    )
+    totals["enabled"] = cache
+    result = SweepResult(
+        name=sweep.name,
+        outcomes=outcomes,
+        workers=workers,
+        chunk_size=chunk_size,
+        elapsed_s=elapsed,
+        cache=totals,
+    )
+    if out_dir is not None:
+        result.write(out_dir)
+    return result
+
+
+class _PointTimeout(Exception):
+    """A point exceeded its wall-clock budget."""
+
+
+def _run_chunk(
+    task: Callable[..., dict],
+    points: tuple[SweepPoint, ...],
+    retries: int,
+    timeout: float | None,
+    use_cache: bool,
+) -> tuple[list[PointOutcome], dict[str, Any]]:
+    """Evaluate one chunk serially with a fresh chunk-local cache.
+
+    Top-level (not a closure) so the process pool can pickle it.
+    """
+    solver_cache = SolverCache() if use_cache else None
+    outcomes: list[PointOutcome] = []
+    for point in points:
+        value: dict[str, Any] | None = None
+        error: str | None = None
+        attempts = 0
+        t0 = time.perf_counter()
+        for attempt in range(retries + 1):
+            attempts = attempt + 1
+            ctx = PointContext(
+                seed=point.seed + attempt, attempt=attempt, cache=solver_cache
+            )
+            try:
+                value = _call_with_timeout(task, point, ctx, timeout)
+                error = None
+                break
+            except _PointTimeout:
+                error = f"timeout after {timeout}s"
+            except Exception as err:
+                error = f"{type(err).__name__}: {err}"
+        wall_ms = (time.perf_counter() - t0) * 1000.0
+        if error is None and not isinstance(value, dict):
+            error = (
+                f"task returned {type(value).__name__}, expected a dict"
+            )
+            value = None
+        outcomes.append(PointOutcome(
+            id=point.id, params=dict(point.params), seed=point.seed,
+            value=value, error=error, attempts=attempts, wall_ms=wall_ms,
+        ))
+    stats = solver_cache.stats() if solver_cache is not None else {}
+    return outcomes, stats
+
+
+def _call_with_timeout(
+    task: Callable[..., dict],
+    point: SweepPoint,
+    ctx: PointContext,
+    timeout: float | None,
+) -> dict[str, Any]:
+    if timeout is None or not hasattr(signal, "setitimer"):
+        return task(dict(point.params), ctx)
+    # SIGALRM-based guard: only usable from a process's main thread, which
+    # is where pool workers (and the serial path) run chunk code
+    def _alarm(signum, frame):
+        raise _PointTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return task(dict(point.params), ctx)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,126 @@
+"""SolverCache: memoization, warm starts, invalidation, counters."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import AcceleratorSpec, GatewaySystem, StreamSpec
+from repro.core.blocksize_ilp import resolve_block_sizes
+from repro.exp import SolverCache
+
+
+def make_system(rate_den_a=60, rate_den_b=120, reconfigure=100, entry=15):
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=(
+            StreamSpec("s0", Fraction(1, rate_den_a), reconfigure),
+            StreamSpec("s1", Fraction(1, rate_den_b), reconfigure),
+        ),
+        entry_copy=entry,
+        exit_copy=1,
+    )
+
+
+def test_repeated_system_is_a_memo_hit():
+    cache = SolverCache()
+    system = make_system()
+    first = cache.resolve(system)
+    second = cache.resolve(system)
+    assert second is first  # verbatim, no re-solve
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_equal_systems_share_a_fingerprint():
+    cache = SolverCache()
+    cache.resolve(make_system())
+    cache.resolve(make_system())  # fresh but identical object
+    assert cache.hits == 1
+
+
+def test_distinct_systems_miss_and_warm_start():
+    cache = SolverCache()
+    cache.resolve(make_system(rate_den_a=60))
+    result = cache.resolve(make_system(rate_den_a=70))
+    assert cache.misses == 2
+    # the second solve had an incumbent available; whether it was usable
+    # is the solver's call, but the counter must agree with the result
+    assert cache.warm_starts == (1 if result.warm_start else 0)
+
+
+def test_warm_started_objective_equals_cold():
+    """Warm starts accelerate the search; they must not change the optimum."""
+    cache = SolverCache()
+    variants = [make_system(rate_den_a=d) for d in (60, 64, 68, 72)]
+    for system in variants:
+        warm = cache.resolve(system)
+        cold = resolve_block_sizes(system)
+        assert warm.objective == cold.objective
+        assert warm.block_sizes == cold.block_sizes
+
+
+def test_warm_start_disabled_never_seeds():
+    cache = SolverCache(warm_start=False)
+    for d in (60, 64, 68):
+        result = cache.resolve(make_system(rate_den_a=d))
+        assert not result.warm_start
+    assert cache.warm_starts == 0
+
+
+def test_invalidate_drops_memo_keeps_counters():
+    cache = SolverCache()
+    system = make_system()
+    cache.resolve(system)
+    cache.resolve(system)
+    cache.invalidate()
+    assert len(cache) == 0
+    assert (cache.hits, cache.misses) == (1, 1)  # history preserved
+    cache.resolve(system)  # must re-solve now
+    assert cache.misses == 2
+
+
+def test_backend_flows_through():
+    cache = SolverCache()
+    scipy_result = cache.resolve(make_system(), backend="scipy")
+    bnb_result = SolverCache().resolve(make_system(), backend="bnb")
+    assert scipy_result.objective == bnb_result.objective
+
+
+def test_stats_shape():
+    cache = SolverCache()
+    cache.resolve(make_system())
+    cache.resolve(make_system())
+    stats = cache.stats()
+    assert stats == {
+        "lookups": 2,
+        "hits": 1,
+        "misses": 1,
+        "warm_starts": 0,
+        "hit_rate": 0.5,
+        "entries": 1,
+    }
+
+
+def test_empty_cache_hit_rate_is_zero():
+    assert SolverCache().hit_rate == 0.0
+
+
+def test_cache_plugs_into_scenario_solve():
+    from repro.api import Scenario
+
+    cache = SolverCache()
+    system = make_system()
+    a = Scenario(system).solve(cache=cache)
+    b = Scenario(system).solve(cache=cache)
+    assert cache.hits == 1
+    assert [s.block_size for s in a.system.streams] == [
+        s.block_size for s in b.system.streams
+    ]
+    assert all(s.block_size is not None for s in a.system.streams)
+
+
+@pytest.mark.parametrize("eta_max", [None, 4096])
+def test_eta_max_flows_through(eta_max):
+    result = SolverCache().resolve(make_system(), eta_max=eta_max)
+    assert all(v >= 1 for v in result.block_sizes.values())

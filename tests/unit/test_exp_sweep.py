@@ -1,0 +1,206 @@
+"""Sweep specs: eager validation, grid expansion, deterministic seeding."""
+
+import pytest
+
+from repro.exp import Sweep, SweepError, SweepPoint, point_seed, run_sweep
+from repro.exp.tasks import fig8_min_buffer, get_task
+
+
+def echo_task(params, ctx):
+    """Module-level (hence picklable) task used across these tests."""
+    return {"params": dict(params), "seed": ctx.seed}
+
+
+# -- construction -------------------------------------------------------------
+
+def test_grid_expands_cartesian_product_in_order():
+    sweep = Sweep.grid("g", echo_task, axes={"a": [1, 2], "b": ["x", "y"]})
+    assert [p.id for p in sweep.points] == [
+        "a=1,b=x", "a=1,b=y", "a=2,b=x", "a=2,b=y",
+    ]
+    assert sweep.points[2].params == {"a": 2, "b": "x"}
+
+
+def test_grid_merges_base_params():
+    sweep = Sweep.grid("g", echo_task, axes={"a": [1]}, base={"k": 7})
+    assert sweep.points[0].params == {"k": 7, "a": 1}
+
+
+def test_grid_axis_overrides_base():
+    sweep = Sweep.grid("g", echo_task, axes={"a": [5]}, base={"a": 1})
+    assert sweep.points[0].params == {"a": 5}
+
+
+def test_points_accept_id_params_mappings():
+    sweep = Sweep("s", echo_task, [{"id": "first", "params": {"a": 1}}])
+    assert sweep.points[0].id == "first"
+    assert sweep.points[0].params == {"a": 1}
+
+
+def test_plain_mappings_synthesise_ids():
+    sweep = Sweep("s", echo_task, [{"a": 1}, {"a": 2}])
+    assert [p.id for p in sweep.points] == ["a=1", "a=2"]
+
+
+def test_sweep_point_seeds_are_rederived():
+    point = SweepPoint(id="p", params={}, seed=999)
+    sweep = Sweep("s", echo_task, [point], seed=3)
+    assert sweep.points[0].seed == point_seed(3, "s", "p")
+    assert sweep.points[0].seed != 999
+
+
+# -- eager validation ---------------------------------------------------------
+
+def test_empty_points_rejected():
+    with pytest.raises(SweepError, match="no points"):
+        Sweep("s", echo_task, [])
+
+
+def test_empty_axes_rejected():
+    with pytest.raises(SweepError, match="empty axes"):
+        Sweep.grid("s", echo_task, axes={})
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(SweepError, match="axis 'a' is empty"):
+        Sweep.grid("s", echo_task, axes={"a": []})
+
+
+def test_scalar_axis_rejected():
+    with pytest.raises(SweepError, match="must be a sequence"):
+        Sweep.grid("s", echo_task, axes={"a": 3})
+
+
+def test_string_axis_rejected():
+    with pytest.raises(SweepError, match="must be a sequence"):
+        Sweep.grid("s", echo_task, axes={"a": "abc"})
+
+
+def test_duplicate_ids_rejected():
+    points = [
+        {"id": "same", "params": {"a": 1}},
+        {"id": "same", "params": {"a": 2}},
+    ]
+    with pytest.raises(SweepError, match="duplicate point ids: \\['same'\\]"):
+        Sweep("s", echo_task, points)
+
+
+def test_lambda_task_rejected_up_front():
+    with pytest.raises(SweepError, match="lambda or closure"):
+        Sweep("s", lambda params, ctx: {}, [{"a": 1}])
+
+
+def test_closure_task_rejected_up_front():
+    def outer():
+        bound = 42
+
+        def inner(params, ctx):
+            return {"v": bound}
+
+        return inner
+
+    with pytest.raises(SweepError, match="picklable"):
+        Sweep("s", outer(), [{"a": 1}])
+
+
+def test_non_callable_task_rejected():
+    with pytest.raises(SweepError, match="must be callable"):
+        Sweep("s", "not-a-task", [{"a": 1}])
+
+
+def test_non_json_params_rejected():
+    with pytest.raises(SweepError, match="JSON-serialisable"):
+        Sweep("s", echo_task, [{"a": {1, 2, 3}}])
+
+
+def test_non_picklable_params_rejected():
+    with pytest.raises(SweepError, match="not picklable"):
+        Sweep("s", echo_task, [{"f": lambda: None}])
+
+
+def test_bad_sweep_name_rejected():
+    for bad in ("", "has space", "slash/y", 42):
+        with pytest.raises(SweepError, match="sweep name"):
+            Sweep(bad, echo_task, [{"a": 1}])
+
+
+def test_bad_point_type_rejected():
+    with pytest.raises(SweepError, match="SweepPoint or a params mapping"):
+        Sweep("s", echo_task, [("a", 1)])
+
+
+def test_explicit_point_bad_id_rejected():
+    with pytest.raises(SweepError, match="non-empty string"):
+        Sweep("s", echo_task, [{"id": "", "params": {}}])
+
+
+def test_explicit_point_bad_params_rejected():
+    with pytest.raises(SweepError, match="must be a mapping"):
+        Sweep("s", echo_task, [{"id": "p", "params": [1, 2]}])
+
+
+def test_unknown_task_name():
+    with pytest.raises(SweepError, match="unknown sweep task"):
+        get_task("definitely-not-registered")
+
+
+# -- deterministic seeding ----------------------------------------------------
+
+def test_point_seed_is_pure():
+    assert point_seed(0, "s", "p") == point_seed(0, "s", "p")
+
+
+def test_point_seed_varies_with_every_input():
+    base = point_seed(0, "s", "p")
+    assert point_seed(1, "s", "p") != base
+    assert point_seed(0, "t", "p") != base
+    assert point_seed(0, "s", "q") != base
+
+
+def test_point_seed_fits_32_bits():
+    for i in range(50):
+        assert 0 <= point_seed(i, "sweep", f"point{i}") < 2**32
+
+
+def test_seeds_independent_of_point_order():
+    forward = Sweep("s", echo_task, [{"a": 1}, {"a": 2}])
+    backward = Sweep("s", echo_task, [{"a": 2}, {"a": 1}])
+    by_id_f = {p.id: p.seed for p in forward.points}
+    by_id_b = {p.id: p.seed for p in backward.points}
+    assert by_id_f == by_id_b
+
+
+def test_task_sees_point_seed():
+    sweep = Sweep("seeded", echo_task, [{"a": 1}], seed=11)
+    result = run_sweep(sweep, workers=1)
+    assert result.outcomes[0].value["seed"] == point_seed(11, "seeded", "a=1")
+
+
+# -- chunking -----------------------------------------------------------------
+
+def test_chunk_size_default_is_constant():
+    from repro.exp.engine import DEFAULT_CHUNK_SIZE
+
+    assert DEFAULT_CHUNK_SIZE == 4
+    sweep = Sweep.grid("g", echo_task, axes={"a": list(range(9))})
+    result = run_sweep(sweep, workers=1)
+    assert result.chunk_size == DEFAULT_CHUNK_SIZE
+
+
+def test_outcomes_keep_sweep_order_regardless_of_chunking():
+    sweep = Sweep.grid("g", echo_task, axes={"a": list(range(10))})
+    result = run_sweep(sweep, workers=1, chunk_size=3)
+    assert [o.params["a"] for o in result.outcomes] == list(range(10))
+
+
+def test_invalid_chunk_size_rejected():
+    sweep = Sweep("s", echo_task, [{"a": 1}])
+    with pytest.raises(SweepError, match="chunk_size"):
+        run_sweep(sweep, workers=1, chunk_size=0)
+
+
+def test_real_task_runs_serially():
+    sweep = Sweep.grid("fig8", fig8_min_buffer, axes={"eta": [1, 5]})
+    result = run_sweep(sweep, workers=1)
+    assert result.ok
+    assert [o.value["alpha"] for o in result.outcomes] == [5, 5]
