@@ -107,6 +107,12 @@ def test_sweep_engine_artifact(benchmark):
         "environment": {
             "cpu_count": os.cpu_count(),
             "parallel_workers": parallel.workers,
+            # what actually ran: on a 1-CPU host a "parallel" run is a
+            # process pool multiplexed onto one core, and the attribution
+            # below keeps the artifact from presenting it as a speedup
+            "parallel_effective_workers": parallel.effective_workers,
+            "parallel_mode": parallel.mode,
+            "chunk_count": parallel.chunk_count,
             "chunk_size": parallel.chunk_size,
         },
     })

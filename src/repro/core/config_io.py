@@ -139,8 +139,9 @@ REPORT_SCHEMA = "repro.report"
 REPORT_SCHEMA_VERSION = 1
 
 #: every report kind the toolkit emits; ``load_report`` rejects others
+#: ("bench" is a standalone benchmark comparison, e.g. BENCH_kernel_wheel)
 REPORT_KINDS = frozenset(
-    {"metrics", "conformance", "faults", "reconfig", "run", "sweep"}
+    {"metrics", "conformance", "faults", "reconfig", "run", "sweep", "bench"}
 )
 
 _ENVELOPE_KEYS = ("schema", "version", "kind")

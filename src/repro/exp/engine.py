@@ -104,6 +104,16 @@ class SweepResult:
     chunk_size: int
     elapsed_s: float
     cache: dict[str, Any] = field(default_factory=dict)
+    #: the caller's raw ``workers`` argument (None = engine picked)
+    requested_workers: int | None = None
+    #: processes that could actually run concurrently: 1 when serial,
+    #: otherwise capped by the number of chunks there was work for
+    effective_workers: int = 1
+    chunk_count: int = 0
+    #: ``os.cpu_count()`` on the submitting host — a "parallel speedup"
+    #: measured with cpu_count 1 is a serial run in disguise
+    cpu_count: int | None = None
+    mode: str = "serial"
 
     @property
     def ok(self) -> bool:
@@ -139,7 +149,12 @@ class SweepResult:
             "digest": self.digest(),
             "execution": {
                 "workers": self.workers,
+                "requested_workers": self.requested_workers,
+                "effective_workers": self.effective_workers,
+                "mode": self.mode,
                 "chunk_size": self.chunk_size,
+                "chunk_count": self.chunk_count,
+                "cpu_count": self.cpu_count,
                 "elapsed_s": self.elapsed_s,
                 "failed_points": [o.id for o in self.failed],
                 "wall_ms": {o.id: o.wall_ms for o in self.outcomes},
@@ -191,6 +206,7 @@ def run_sweep(
     out_dir:
         When given, persist ``BENCH_<name>.json`` there before returning.
     """
+    requested_workers = workers
     if workers is None:
         workers = min(4, os.cpu_count() or 1)
     if chunk_size is None:
@@ -238,6 +254,11 @@ def run_sweep(
         chunk_size=chunk_size,
         elapsed_s=elapsed,
         cache=totals,
+        requested_workers=requested_workers,
+        effective_workers=1 if workers <= 1 else min(workers, len(chunks)),
+        chunk_count=len(chunks),
+        cpu_count=os.cpu_count(),
+        mode="serial" if workers <= 1 else "process-pool",
     )
     if out_dir is not None:
         result.write(out_dir)
@@ -307,9 +328,18 @@ def _call_with_timeout(
         raise _PointTimeout()
 
     previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    started = time.monotonic()
+    # setitimer returns the *old* timer; an outer alarm (e.g. a caller's own
+    # watchdog) must be re-armed with its remaining budget, not wiped to 0.0
+    outer_delay, outer_interval = signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         return task(dict(point.params), ctx)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay > 0.0:
+            remaining = outer_delay - (time.monotonic() - started)
+            # an already-overdue outer timer still must fire: arm the minimum
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
+            )

@@ -16,6 +16,16 @@ reproduction:
 The kernel is deliberately deterministic: events scheduled for the same cycle
 fire in FIFO order of scheduling, which makes traces reproducible and lets the
 tests assert exact cycle counts.
+
+Scheduling is a calendar queue (per-cycle FIFO buckets indexed by absolute
+cycle, ordered by a min-heap over the occupied cycles) with temporal
+decoupling: the clock jumps from occupied cycle to occupied cycle and the
+idle spans in between are counted in :attr:`Simulator.skipped_cycles`, never
+stepped.  ``benchmarks/bench_kernel_hotpath.py`` measures this scheduler
+against the frozen heap-only reference in :mod:`repro.sim.refkernel`, and
+``tests/property/test_kernel_differential.py`` proves the two produce
+bit-identical observable traces.  See DESIGN.md, "Kernel scheduling &
+temporal decoupling".
 """
 
 from __future__ import annotations
@@ -124,7 +134,7 @@ class Event:
     def cancel(self) -> None:
         """Withdraw the event: its callbacks will never run.
 
-        A scheduled event stays in the simulator heap but is skipped (lazy
+        A scheduled event stays in its calendar bucket but is skipped (lazy
         deletion); an event queued as a waiter (e.g. a pending
         :meth:`Signal.acquire`) is skipped by the owning primitive without
         consuming any resource.  Cancelling an already-processed event is an
@@ -160,11 +170,29 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        # Timeout creation is the kernel's hottest allocation (every sleep,
+        # poll and watchdog arm makes one): initialise every slot in one
+        # flat pass instead of Event.__init__ plus re-assignment.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._cancelled = False
+        self.delay = delay
+        # inlined Simulator._schedule (delay is never negative here): one
+        # call frame less on the single most frequent scheduling operation
+        when = sim.now + int(delay)
+        if when == sim._active_cycle:
+            sim._active.append(self)
+        else:
+            bucket = sim._buckets.get(when)
+            if bucket is None:
+                sim._buckets[when] = [self]
+                _heappush(sim._times, when)
+            else:
+                bucket.append(self)
 
 
 class AllOf(Event):
@@ -249,7 +277,7 @@ class Process(Event):
     generator's return value.
     """
 
-    __slots__ = ("name", "_gen", "_waiting_on", "_stale")
+    __slots__ = ("name", "_gen", "_waiting_on", "_stale", "_resume_cb")
 
     def __init__(
         self,
@@ -266,10 +294,13 @@ class Process(Event):
         # Events detached by interrupt() whose wakeup must be swallowed even
         # if they fire before the Interrupt is delivered.
         self._stale: set[Event] = set()
+        # One bound method for the process's whole life, instead of a fresh
+        # allocation on every yield.
+        self._resume_cb = self._resume
         # Kick off at the current instant.
         init = Event(sim)
         init.succeed()
-        init.add_callback(self._resume)
+        init.add_callback(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -318,22 +349,26 @@ class Process(Event):
         self._wait_on(target)
 
     def _resume(self, event: Event) -> None:
-        if event in self._stale:
+        if self._stale and event in self._stale:
             # Detached by interrupt(); its wakeup must never reach the
             # generator, no matter when it arrives relative to the Interrupt.
+            # Checked first: a re-wait on a still-pending stale event must
+            # swallow the detached registration, not the fresh one.
             self._stale.discard(event)
             return
-        if not self.is_alive:
+        if event is self._waiting_on:
+            # Fast path: the event we are parked on woke us (the dominant
+            # resume by far — every Timeout expiry lands here).
+            self._waiting_on = None
+        elif self._triggered or self._waiting_on is not None:
+            # Generator already finished, or interrupted while waiting and
+            # this is the stale wakeup from the detached event.
             return
-        if self._waiting_on is not None and event is not self._waiting_on:
-            # Interrupted while waiting; stale wakeup from the old event.
-            return
-        self._waiting_on = None
         try:
-            if event.ok:
-                target = self._gen.send(event.value)
+            if event._ok:
+                target = self._gen.send(event._value)
             else:
-                target = self._gen.throw(event.value)
+                target = self._gen.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -341,7 +376,16 @@ class Process(Event):
             if not self._fail_or_raise(err):
                 raise
             return
-        self._wait_on(target)
+        # inlined _wait_on fast path: one call frame less per yield
+        if isinstance(target, Event) and target.sim is self.sim:
+            self._waiting_on = target
+            callbacks = target.callbacks
+            if callbacks is None:
+                self._resume(target)  # already processed: wake right now
+            else:
+                callbacks.append(self._resume_cb)
+        else:
+            self._wait_on(target)
 
     def _wait_on(self, target: Event) -> None:
         if not isinstance(target, Event):
@@ -351,7 +395,7 @@ class Process(Event):
         if target.sim is not self.sim:
             raise SimulationError("cannot wait on an event from a different simulator")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
     def _fail_or_raise(self, err: BaseException) -> bool:
         """Fail this process-event if someone is watching, else propagate."""
@@ -362,22 +406,61 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (cycle, sequence, event).
+    """The event loop: a calendar queue of per-cycle FIFO buckets.
 
-    The loop methods (:meth:`run`, :meth:`run_until`, :meth:`run_while`)
-    pop events inline — same-cycle bursts drain in one tight loop without
-    the per-event ``peek``/``purge``/``step`` call triple — which is worth
-    double-digit percentages on simulation-bound runs (see
-    ``benchmarks/bench_kernel_hotpath.py``).  :meth:`peek`/:meth:`step`
-    remain for drivers that need per-event control.
+    Scheduling structure (timing wheel / calendar queue):
+
+    * ``_buckets`` maps an absolute cycle to the list of events scheduled
+      for that cycle.  Appending preserves the deterministic same-cycle
+      FIFO order the previous tuple heap obtained from per-event sequence
+      numbers — without allocating a tuple or bumping a counter per event;
+    * ``_times`` is a min-heap over the *distinct occupied cycles*: one
+      heap operation per cycle instead of one per event, which is what
+      makes same-cycle bursts (ring flit hops, C-FIFO pointer updates,
+      gateway copy completions) cheap;
+    * while a bucket is being drained, ``_active``/``_active_cycle`` expose
+      it so zero-delay schedules append straight onto the live bucket and
+      fire in the same pass — the same-cycle Event-burst fast path, which
+      bypasses the dict and the heap entirely.
+
+    Temporal decoupling: the clock jumps from occupied cycle to occupied
+    cycle; idle spans are counted in :attr:`skipped_cycles` and never
+    stepped or simulated.
+
+    Clock semantics (uniform, regression-pinned in
+    ``tests/unit/test_sim_kernel.py``):
+
+    * ``run()``, ``run(until=event)`` and the bounded drivers
+      :meth:`run_until`/:meth:`run_while` leave the clock on the cycle of
+      the **last dispatched event**.  A bounded driver that gives up
+      (queue drained, or next live event beyond ``limit``) does *not*
+      advance to the limit, so measurement horizons are never inflated by
+      idle tails;
+    * ``run(until=cycle)`` always ends with ``now == until`` — its
+      contract is "advance simulated time to exactly this cycle"; an idle
+      tail is accounted to :attr:`skipped_cycles`, not simulated;
+    * ``run(until=event)`` raises a :class:`SimulationError` naming the
+      cancellation when the target event was cancelled and can never
+      fire, rather than the generic ran-dry message.
+
+    The frozen heap-only predecessor lives in :mod:`repro.sim.refkernel`;
+    ``tests/property/test_kernel_differential.py`` holds the two kernels
+    to bit-identical observable traces and
+    ``benchmarks/bench_kernel_hotpath.py`` records the speedup in
+    ``BENCH_kernel_wheel.json``.
     """
 
-    __slots__ = ("now", "_queue", "_seq")
+    __slots__ = ("now", "skipped_cycles", "_buckets", "_times", "_active",
+                 "_active_cycle")
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[tuple[int, int, Event]] = []
-        self._seq = 0
+        #: cycles crossed without dispatching any event (clock jumps)
+        self.skipped_cycles: int = 0
+        self._buckets: dict[int, list[Event]] = {}
+        self._times: list[int] = []
+        self._active: list[Event] | None = None
+        self._active_cycle: int = -1
 
     # -- construction helpers -------------------------------------------
     def event(self) -> Event:
@@ -402,50 +485,88 @@ class Simulator:
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        self._seq = seq = self._seq + 1
-        _heappush(self._queue, (self.now + int(delay), seq, event))
-
-    def _purge_cancelled(self) -> None:
-        """Drop cancelled events from the head of the queue (lazy deletion)."""
-        queue = self._queue
-        while queue and queue[0][2]._cancelled:
-            _heappop(queue)
+        when = self.now + int(delay)
+        if when == self._active_cycle:
+            # Same-cycle burst fast path: the bucket for this cycle is being
+            # drained right now — appending joins the current firing pass in
+            # FIFO position without touching the dict or the heap.
+            self._active.append(event)
+            return
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [event]
+            _heappush(self._times, when)
+        else:
+            bucket.append(event)
 
     def peek(self) -> int | None:
-        """Cycle of the next live scheduled event, or None when idle."""
-        self._purge_cancelled()
-        return self._queue[0][0] if self._queue else None
+        """Cycle of the next live scheduled event, or None when idle.
+
+        Prunes consumed heap entries and cancelled bucket prefixes as a
+        side effect, so a successful peek leaves the next live event at
+        the front of ``_buckets[peek()]`` and its cycle on top of the
+        heap (lazy deletion happens here, once, not per driver iteration).
+        """
+        buckets = self._buckets
+        times = self._times
+        while times:
+            t = times[0]
+            bucket = buckets.get(t)
+            if bucket is None:
+                # bucket already drained; stale heap entry
+                _heappop(times)
+                continue
+            i = 0
+            n = len(bucket)
+            while i < n and bucket[i]._cancelled:
+                i += 1
+            if i == n:
+                # cancelled-only bucket: drop it without advancing the clock
+                del buckets[t]
+                _heappop(times)
+                continue
+            if i:
+                del bucket[:i]
+            return t
+        return None
 
     def step(self) -> None:
         """Fire the single next live event."""
-        self._purge_cancelled()
-        if not self._queue:
+        t = self.peek()
+        if t is None:
             raise SimulationError("step() on an empty event queue")
-        when, _seq, event = _heappop(self._queue)
-        self.now = when
+        bucket = self._buckets[t]
+        event = bucket.pop(0)  # live: peek() pruned the cancelled prefix
+        if not bucket:
+            del self._buckets[t]
+        if t > self.now:
+            self.skipped_cycles += t - self.now - 1
+            self.now = t
         event._fire()
 
     def run(self, until: int | Event | None = None) -> Any:
         """Run the event loop.
 
-        ``until`` may be an absolute cycle count, an :class:`Event` (run until
-        it fires; its value is returned; a failed event re-raises), or None
-        (run until the queue drains).
+        ``until`` may be an absolute cycle count (run to exactly that
+        cycle: events at it fire, the clock always ends on it), an
+        :class:`Event` (run until it fires; its value is returned; a failed
+        event re-raises; a cancelled target raises :class:`SimulationError`
+        naming the cancellation), or None (run until the queue drains; the
+        clock rests on the last dispatched event).
         """
-        queue = self._queue
         if isinstance(until, Event):
             stop = until
             while not stop._processed:
-                while queue and queue[0][2]._cancelled:
-                    _heappop(queue)
-                if not queue:
+                if not self._drive(stop, None):
+                    if stop._cancelled:
+                        raise SimulationError(
+                            f"target event was cancelled (clock at cycle "
+                            f"{self.now}); it can never fire"
+                        )
                     raise SimulationError(
                         f"simulation ran dry at cycle {self.now} "
                         "before target event fired"
                     )
-                when, _seq, event = _heappop(queue)
-                self.now = when
-                event._fire()
             if not stop._ok:
                 raise stop._value
             return stop._value
@@ -453,60 +574,200 @@ class Simulator:
             horizon = int(until)
             if horizon < self.now:
                 raise SimulationError("cannot run backwards in time")
-            while queue:
-                head = queue[0]
-                if head[2]._cancelled:
-                    _heappop(queue)
-                    continue
-                if head[0] > horizon:
-                    break
-                when, _seq, event = _heappop(queue)
-                self.now = when
-                event._fire()
-            self.now = horizon
+            self._run_to(horizon)
             return None
-        while queue:
-            when, _seq, event = _heappop(queue)
-            if event._cancelled:
-                continue
-            self.now = when
-            event._fire()
+        self._run_all()
         return None
+
+    def _run_all(self) -> None:
+        """Drain the queue completely; clock rests on the last dispatch."""
+        buckets = self._buckets
+        times = self._times
+        while times:
+            t = _heappop(times)
+            bucket = buckets.pop(t, None)
+            if bucket is None:
+                continue
+            i = 0
+            n = len(bucket)
+            while i < n and bucket[i]._cancelled:
+                i += 1
+            if i == n:
+                continue
+            if t > self.now:
+                self.skipped_cycles += t - self.now - 1
+                self.now = t
+            self._active = bucket
+            self._active_cycle = t
+            try:
+                while i < len(bucket):
+                    event = bucket[i]
+                    i += 1
+                    if event._cancelled:
+                        continue
+                    # inlined Event._fire: the Timeout-expiry hot path
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(event)
+            finally:
+                self._active = None
+                self._active_cycle = -1
+                if i < len(bucket):
+                    # aborted mid-bucket (process exception): keep the tail
+                    # scheduled, exactly like the heap kernel did
+                    del bucket[:i]
+                    buckets[t] = bucket
+                    _heappush(times, t)
+
+    def _run_to(self, horizon: int) -> None:
+        """Fire everything at cycles <= horizon; clock ends on horizon."""
+        buckets = self._buckets
+        times = self._times
+        while times:
+            t = times[0]
+            if t > horizon:
+                break
+            _heappop(times)
+            bucket = buckets.pop(t, None)
+            if bucket is None:
+                continue
+            i = 0
+            n = len(bucket)
+            while i < n and bucket[i]._cancelled:
+                i += 1
+            if i == n:
+                continue
+            if t > self.now:
+                self.skipped_cycles += t - self.now - 1
+                self.now = t
+            self._active = bucket
+            self._active_cycle = t
+            try:
+                while i < len(bucket):
+                    event = bucket[i]
+                    i += 1
+                    if event._cancelled:
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(event)
+            finally:
+                self._active = None
+                self._active_cycle = -1
+                if i < len(bucket):
+                    del bucket[:i]
+                    buckets[t] = bucket
+                    _heappush(times, t)
+        if horizon > self.now:
+            # temporal decoupling: the idle tail is skipped, not simulated
+            self.skipped_cycles += horizon - self.now
+            self.now = horizon
+
+    def _drive(self, stop: Event, limit: int | None) -> bool:
+        """Fire events in order until ``stop`` has been processed.
+
+        Never fires an event past ``limit`` (None = unbounded).  Returns
+        True once ``stop`` was processed; False when it gave up first
+        (queue drained, or next live event beyond the limit) — the clock
+        then rests on the last dispatched event.
+        """
+        buckets = self._buckets
+        times = self._times
+        while not stop._processed:
+            t = self.peek()
+            if t is None or (limit is not None and t > limit):
+                return stop._processed
+            _heappop(times)  # peek() left t on top with a live bucket
+            bucket = buckets.pop(t)
+            if t > self.now:
+                self.skipped_cycles += t - self.now - 1
+                self.now = t
+            i = 0
+            self._active = bucket
+            self._active_cycle = t
+            try:
+                while i < len(bucket):
+                    if stop._processed:
+                        break
+                    event = bucket[i]
+                    i += 1
+                    if event._cancelled:
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(event)
+            finally:
+                self._active = None
+                self._active_cycle = -1
+                if i < len(bucket):
+                    # stop fired (or a process raised) mid-bucket: the
+                    # same-cycle tail stays scheduled for a later run call
+                    del bucket[:i]
+                    buckets[t] = bucket
+                    _heappush(times, t)
+        return True
 
     def run_until(self, stop: Event, limit: int) -> bool:
         """Run until ``stop`` fires, never past cycle ``limit``.
 
         Returns True once ``stop`` has fired; False when the queue drained
         or the next live event lies beyond ``limit`` first (the clock then
-        rests on the last fired event, not on ``limit``).  This is the
-        bounded-horizon driver loop of the architecture harness, inlined so
-        same-cycle event bursts pop in one pass.
+        rests on the last fired event, not on ``limit`` — see the class
+        docstring's clock-semantics contract).  This is the bounded-horizon
+        driver loop of the architecture harness.
         """
-        queue = self._queue
-        while not stop._processed:
-            while queue and queue[0][2]._cancelled:
-                _heappop(queue)
-            if not queue or queue[0][0] > limit:
-                return False
-            when, _seq, event = _heappop(queue)
-            self.now = when
-            event._fire()
-        return True
+        return self._drive(stop, limit)
 
     def run_while(self, pending: Callable[[], bool], limit: int) -> bool:
         """Run while ``pending()`` is true, never past cycle ``limit``.
 
-        The predicate is re-evaluated after every fired event.  Returns
+        The predicate is re-evaluated before every event dispatch.  Returns
         True once ``pending()`` turned false; False when the queue drained
-        or the next live event lies beyond ``limit`` while still pending.
+        or the next live event lies beyond ``limit`` while still pending
+        (the clock then rests on the last fired event, not on ``limit``).
         """
-        queue = self._queue
+        buckets = self._buckets
+        times = self._times
         while pending():
-            while queue and queue[0][2]._cancelled:
-                _heappop(queue)
-            if not queue or queue[0][0] > limit:
+            t = self.peek()
+            if t is None or t > limit:
                 return not pending()
-            when, _seq, event = _heappop(queue)
-            self.now = when
-            event._fire()
+            _heappop(times)
+            bucket = buckets.pop(t)
+            if t > self.now:
+                self.skipped_cycles += t - self.now - 1
+                self.now = t
+            i = 0
+            self._active = bucket
+            self._active_cycle = t
+            try:
+                while i < len(bucket):
+                    if not pending():
+                        break
+                    event = bucket[i]
+                    i += 1
+                    if event._cancelled:
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(event)
+            finally:
+                self._active = None
+                self._active_cycle = -1
+                if i < len(bucket):
+                    del bucket[:i]
+                    buckets[t] = bucket
+                    _heappush(times, t)
         return True

@@ -15,6 +15,14 @@ storage modes:
   long soak runs; aggregate counters still see every record),
 * ``"aggregate"`` — no records stored at all, only per-(source, kind)
   counters (production-style always-on observability).
+
+Record order is kernel dispatch order: components emit records from event
+callbacks, and the calendar-queue scheduler (see :mod:`repro.sim.kernel`
+and DESIGN.md §6) guarantees the same cycle-then-FIFO dispatch order as
+the reference heap kernel, so traces are bit-identical across kernels and
+stable enough to diff between runs.  Temporal decoupling never reorders
+records — skipped cycles are, by construction, cycles with no callbacks
+and therefore no records.
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
 """Sweep specs: eager validation, grid expansion, deterministic seeding."""
 
+import os
+
 import pytest
 
 from repro.exp import Sweep, SweepError, SweepPoint, point_seed, run_sweep
@@ -204,3 +206,95 @@ def test_real_task_runs_serially():
     result = run_sweep(sweep, workers=1)
     assert result.ok
     assert [o.value["alpha"] for o in result.outcomes] == [5, 5]
+
+
+# -- per-point timeout must not clobber an outer ITIMER_REAL budget --------
+
+
+def _quick_task(params, ctx):
+    return {"ok": True}
+
+
+def _slow_task(params, ctx):
+    import time
+    time.sleep(5)
+    return {"ok": True}
+
+
+@pytest.mark.timeout(60, method="thread")
+def test_point_timeout_restores_outer_itimer():
+    """An outer SIGALRM budget survives a guarded point that finishes."""
+    import signal
+
+    from repro.exp.engine import PointContext, _call_with_timeout
+
+    point = SweepPoint(id="p0", params={}, seed=1)
+    signal.setitimer(signal.ITIMER_REAL, 30.0)
+    try:
+        _call_with_timeout(_quick_task, point, PointContext(seed=1), 5.0)
+        remaining, interval = signal.getitimer(signal.ITIMER_REAL)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+    # the outer budget is re-armed with its remaining time, not wiped
+    assert 25.0 < remaining <= 30.0
+    assert interval == 0.0
+
+
+@pytest.mark.timeout(60, method="thread")
+def test_point_timeout_expiry_restores_outer_itimer():
+    """The outer budget survives even when the point times out."""
+    import signal
+
+    from repro.exp.engine import (
+        PointContext,
+        _PointTimeout,
+        _call_with_timeout,
+    )
+
+    point = SweepPoint(id="p0", params={}, seed=1)
+    signal.setitimer(signal.ITIMER_REAL, 30.0)
+    try:
+        with pytest.raises(_PointTimeout):
+            _call_with_timeout(_slow_task, point, PointContext(seed=1), 0.05)
+        remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+    assert 25.0 < remaining <= 30.0
+
+
+@pytest.mark.timeout(60, method="thread")
+def test_point_timeout_without_outer_itimer_disarms():
+    import signal
+
+    from repro.exp.engine import PointContext, _call_with_timeout
+
+    point = SweepPoint(id="p0", params={}, seed=1)
+    _call_with_timeout(_quick_task, point, PointContext(seed=1), 5.0)
+    remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert remaining == 0.0
+
+
+# -- execution attribution: serial runs can't masquerade as parallel -------
+
+
+def test_report_records_worker_attribution():
+    sweep = Sweep.grid("fig8", fig8_min_buffer, axes={"eta": [1, 5, 9]})
+    result = run_sweep(sweep, workers=1, chunk_size=2)
+    report = result.to_report()
+    execution = report["execution"]
+    assert execution["requested_workers"] == 1
+    assert execution["workers"] == 1
+    assert execution["effective_workers"] == 1
+    assert execution["mode"] == "serial"
+    assert execution["chunk_count"] == 2
+    assert execution["cpu_count"] == os.cpu_count()
+
+
+def test_engine_picked_workers_recorded_as_unrequested():
+    sweep = Sweep.grid("fig8", fig8_min_buffer, axes={"eta": [1]})
+    result = run_sweep(sweep)  # workers=None: engine picks
+    execution = result.to_report()["execution"]
+    assert execution["requested_workers"] is None
+    assert execution["workers"] >= 1
+    # effective workers never exceeds the work available
+    assert execution["effective_workers"] <= max(1, execution["chunk_count"])

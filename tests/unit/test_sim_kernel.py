@@ -479,3 +479,121 @@ def test_interrupt_cancels_sole_watched_timer():
     sim.process(killer())
     sim.run()
     assert sim.now == 4  # not 10_000: the orphaned timer was cancelled
+
+
+# -- clock-semantics contract & temporal decoupling (calendar queue) -------
+
+
+def test_run_to_cycle_clamps_clock_when_queue_drains_early():
+    """``run(until=cycle)`` always ends with ``now == until``.
+
+    The idle tail between the last event and the horizon is *skipped*,
+    never simulated: it shows up in ``skipped_cycles``, not in wall time.
+    """
+    sim = Simulator()
+
+    def one_shot():
+        yield sim.timeout(10)
+
+    sim.process(one_shot())
+    sim.run(until=1_000)
+    assert sim.now == 1_000
+    # 0->10 skips cycles 1..9 (9), 10->1000 skips the whole idle tail (990)
+    assert sim.skipped_cycles == 9 + 990
+
+
+def test_run_until_leaves_clock_on_last_dispatched_event():
+    """Bounded drivers do NOT clamp: the clock rests where work stopped."""
+    sim = Simulator()
+
+    def one_shot():
+        yield sim.timeout(10)
+
+    done = sim.process(one_shot())
+    assert sim.run_until(done, limit=1_000)
+    assert sim.now == 10  # not 1_000
+
+
+def test_run_while_leaves_clock_on_last_dispatched_event():
+    sim = Simulator()
+    done = []
+
+    def one_shot():
+        yield sim.timeout(10)
+        done.append(True)
+
+    sim.process(one_shot())
+    assert sim.run_while(lambda: not done, limit=1_000)
+    assert sim.now == 10
+
+
+def test_run_until_cancelled_target_raises_clear_error():
+    """A cancelled target event is reported as such, not as 'ran dry'."""
+    sim = Simulator()
+    target = sim.timeout(50)
+    target.cancel()
+    with pytest.raises(SimulationError, match="cancelled"):
+        sim.run(until=target)
+
+
+def test_run_until_target_cancelled_mid_run_raises_clear_error():
+    sim = Simulator()
+    target = sim.timeout(50)
+
+    def saboteur():
+        yield sim.timeout(10)
+        target.cancel()
+
+    sim.process(saboteur())
+    with pytest.raises(SimulationError, match="cancelled"):
+        sim.run(until=target)
+
+
+def test_temporal_decoupling_skips_idle_cycles():
+    """The cycle-skip path engages on sparse timelines (acceptance gate)."""
+    sim = Simulator()
+
+    def sparse():
+        yield sim.timeout(1_000)
+        yield sim.timeout(1_000)
+
+    sim.process(sparse())
+    sim.run()
+    assert sim.now == 2_000
+    assert sim.skipped_cycles == 2 * 999
+
+
+def test_dense_timeline_skips_nothing():
+    sim = Simulator()
+
+    def dense():
+        for _ in range(5):
+            yield sim.timeout(1)
+
+    sim.process(dense())
+    sim.run()
+    assert sim.now == 5
+    assert sim.skipped_cycles == 0
+
+
+def test_same_cycle_schedule_during_drain_stays_fifo():
+    """Zero-delay events scheduled *while draining* a cycle run this cycle,
+    after everything already queued for it (the active-bucket fast path)."""
+    sim = Simulator()
+    order = []
+
+    def first():
+        yield sim.timeout(1)
+        order.append("first")
+        yield sim.timeout(0)
+        order.append("first-again")
+
+    def second():
+        yield sim.timeout(1)
+        order.append("second")
+
+    sim.process(first())
+    sim.process(second())
+    sim.run()
+    assert sim.now == 1
+    assert order == ["first", "second", "first-again"]
