@@ -245,6 +245,14 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     print(f"entry gateway: copy {util.copy:.1%}, reconfig {util.reconfig:.1%}, "
           f"poll {util.poll:.1%}, other {util.other:.1%} "
           f"({util.blocks_admitted} blocks admitted)")
+    fp = result.run.fastpath()
+    rings = ", ".join(
+        f"{ring} {s['take_rate']:.1%} of {s['fast'] + s['slow']}"
+        for ring, s in fp["rings"].items()
+    )
+    state = "on" if fp["enabled"] else "off (REPRO_NO_FASTPATH)"
+    print(f"ring fast path {state}: {fp['take_rate']:.1%} of flits fused "
+          f"({rings})")
     return 0
 
 

@@ -279,6 +279,7 @@ class RunResult:
             "horizon": self.horizon,
             "streams": [m.to_dict() for m in self.metrics().values()],
             "gateway": self.utilization().to_dict(),
+            "fastpath": self.run.fastpath(),
         }
 
     def _reconfig_body(self, calibrated: bool) -> dict[str, Any]:

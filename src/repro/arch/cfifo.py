@@ -20,6 +20,22 @@ Timing model:
 This matches the dataflow abstraction used in the analysis: space is
 released to the producer only after consumption, and availability reaches
 the consumer only after the (ring-delayed) write-pointer update.
+
+Fused put (DESIGN.md §7): once the producer's space grant fires — the
+exact dispatch position where the unfused code would post the data flit —
+and no fault injector is attached, :meth:`CFifo.put` offers the data +
+write-pointer posted writes to the ring as one precompiled chain
+(:meth:`~repro.arch.ring.DualRing.post_chain`).  When the ring takes it,
+the producer parks on a single event (the wptr acceptance) instead of
+resuming once per flit, the data flit spawns no transit generator, and the
+wptr flit is relayed at the data flit's acceptance instant exactly as the
+unfused code would have posted it (fast or slow on its own merits).
+Timing is identical to the unfused path; the eligibility
+counters (:attr:`CFifo.fused_puts` / :attr:`CFifo.slow_puts`, per-flit
+:attr:`CFifo.flits_fast` / :attr:`CFifo.flits_slow`) surface the take rate
+through :mod:`repro.sim.metrics`.  The read-pointer update posted by
+:meth:`CFifo.get` is a single flit, fused by the ring itself when
+eligible.
 """
 
 from __future__ import annotations
@@ -61,8 +77,20 @@ class CFifo:
         # consumer's local view of available words (write-pointer copy)
         self._avail = Signal(sim, initial=0, name=f"{name}.avail")
         self._memory: deque[Any] = deque()  # consumer-side buffer contents
+        # hot-path handles: put/get run once per word, so the bound methods
+        # and the constant wptr chain entry are hoisted out of them
+        self._append = self._memory.append
+        self._wptr_entry = (ring.hop_latency, None, self._release_avail)
         self.words_put = 0
         self.words_got = 0
+        #: puts whose data+wptr flits were fused into one precompiled chain
+        self.fused_puts = 0
+        #: puts that went through the per-flit path (blocked, faulted, ...)
+        self.slow_puts = 0
+        #: this FIFO's flits that took the ring fast path / generator path
+        self.flits_fast = 0
+        self.flits_slow = 0
+        ring.clients.append(self)
         #: maximum number of claimed slots observed (buffer high-water mark);
         #: claimed = capacity − producer space view, so it covers words both
         #: in flight on the ring and resident in the consumer's memory.
@@ -73,17 +101,58 @@ class CFifo:
         self.lost_space = 0
         self.lost_avail = 0
 
+    # -- internal helpers --------------------------------------------------
+    def _release_avail(self, _payload: Any) -> None:
+        self._avail.release(1)
+
+    def _release_space(self, _payload: Any) -> None:
+        self._space.release(1)
+
+    def _counted_post(self, src: int, dst: int, payload: Any, on_delivery,
+                      events: bool = True):
+        """``ring.post`` plus this FIFO's own fast/slow flit attribution."""
+        before = self.ring.flits_fast[DualRing.DATA]
+        out = self.ring.post(src, dst, payload, ring=DualRing.DATA,
+                             on_delivery=on_delivery, events=events)
+        if self.ring.flits_fast[DualRing.DATA] > before:
+            self.flits_fast += 1
+        else:
+            self.flits_slow += 1
+        return out
+
     # -- producer ---------------------------------------------------------
     def put(self, word: Any):
-        """Generator: claim space, post data + write-pointer update."""
+        """Generator: claim space, post data + write-pointer update.
+
+        When the ring accepts both flits on its fast path, the two posted
+        writes are fused into one precompiled chain and this generator
+        parks on a single event (the wptr acceptance); timing and side
+        effects are identical to the per-flit path below.  The fusion
+        decision is made *at the space grant's dispatch position* — exactly
+        where the unfused code posts the data flit — so injection order
+        against competing traffic is unchanged.
+        """
         yield self._space.acquire(1)
         claimed = self.capacity - self._space.count
         if claimed > self.high_water:
             self.high_water = claimed
+        if self.fault_injector is None:
+            chain = self.ring.post_chain(
+                self.producer, self.consumer,
+                ((0, word, self._append), self._wptr_entry),
+                client=self,
+            )
+            if chain is not None:
+                self.fused_puts += 1
+                yield chain[1][0]  # wptr acceptance: the producer's resume
+                self.words_put += 1
+                if self.tracer:
+                    self.tracer.log(self.sim.now, self.name, Kind.PUT, word=word)
+                return
+        self.slow_puts += 1
         # data word (posted write into the consumer's FIFO memory)
-        accepted, _ = self.ring.post(
-            self.producer, self.consumer, word,
-            ring=DualRing.DATA, on_delivery=self._memory.append,
+        accepted, _ = self._counted_post(
+            self.producer, self.consumer, word, self._append,
         )
         yield accepted
         injector = self.fault_injector
@@ -93,9 +162,8 @@ class CFifo:
             self.lost_avail += 1
         else:
             # write-pointer update; availability becomes visible on delivery
-            accepted2, _ = self.ring.post(
-                self.producer, self.consumer, None,
-                ring=DualRing.DATA, on_delivery=lambda _p: self._avail.release(1),
+            accepted2, _ = self._counted_post(
+                self.producer, self.consumer, None, self._release_avail,
             )
             yield accepted2
         self.words_put += 1
@@ -126,9 +194,9 @@ class CFifo:
             self.lost_space += 1
         else:
             # read-pointer update replenishes producer space on arrival
-            self.ring.post(
-                self.consumer, self.producer, None,
-                ring=DualRing.DATA, on_delivery=lambda _p: self._space.release(1),
+            self._counted_post(
+                self.consumer, self.producer, None, self._release_space,
+                events=False,
             )
         if self.tracer:
             self.tracer.log(self.sim.now, self.name, Kind.GET, word=word)
@@ -152,9 +220,9 @@ class CFifo:
         if injector is not None and injector.cfifo_ptr_loss(self.name, "read"):
             self.lost_space += 1
         else:
-            self.ring.post(
-                self.consumer, self.producer, None,
-                ring=DualRing.DATA, on_delivery=lambda _p: self._space.release(1),
+            self._counted_post(
+                self.consumer, self.producer, None, self._release_space,
+                events=False,
             )
         if self.tracer:
             self.tracer.log(self.sim.now, self.name, Kind.GET, word=word)
@@ -192,4 +260,17 @@ class CFifo:
             "high_water": self.high_water,
             "lost_space": self.lost_space,
             "lost_avail": self.lost_avail,
+        }
+
+    def fastpath_stats(self) -> dict[str, Any]:
+        """Fast-path take rates for this FIFO's puts and flits."""
+        puts = self.fused_puts + self.slow_puts
+        flits = self.flits_fast + self.flits_slow
+        return {
+            "fused_puts": self.fused_puts,
+            "slow_puts": self.slow_puts,
+            "put_take_rate": (self.fused_puts / puts) if puts else 0.0,
+            "flits_fast": self.flits_fast,
+            "flits_slow": self.flits_slow,
+            "flit_take_rate": (self.flits_fast / flits) if flits else 0.0,
         }

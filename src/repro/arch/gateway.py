@@ -34,6 +34,17 @@ An optional :class:`~repro.sim.faults.AdmissionController` pauses
 low-priority streams while recovery overhead breaks the Eq. 5 throughput
 check and re-admits them after a healthy window.  Without a watchdog the
 gateways behave cycle-for-cycle as the fault-free protocol.
+
+**Lost flits and the watchdog budget.** A flit the fault injector drops
+vanishes silently at ring level: its links are released, the drop is
+counted (`DualRing.flits_dropped`), but its ``delivered`` event stays
+pending *forever* — the ring offers no NACK, on either the compiled fast
+path or the generator path (`tests/unit/test_ring_fastpath.py` pins the
+two paths to identical drop accounting).  The watchdog timeout is
+therefore the *only* bound on waiting for a lost flit: any protocol step
+that parks on ring delivery must run under a guarded block whose γ_s
+budget covers the full turnaround, which is exactly how the recovery
+path above is structured.
 """
 
 from __future__ import annotations

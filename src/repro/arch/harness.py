@@ -34,6 +34,7 @@ from ..core.timing import tau_hat
 from ..sim.metrics import (
     GatewayUtilization,
     StreamMetrics,
+    fastpath_summary,
     gateway_utilization,
     stream_metrics,
 )
@@ -91,6 +92,10 @@ class SimulationRun:
     def utilization(self) -> GatewayUtilization:
         """Entry-gateway cycle breakdown over the run."""
         return gateway_utilization(self.chain.entry, self.horizon)
+
+    def fastpath(self) -> dict:
+        """Fused-data-path take rates for the ring and its FIFOs/channels."""
+        return fastpath_summary(self.soc.ring)
 
     def conformance(self, calibrated: bool = True) -> ConformanceReport:
         """Observed-vs-bound report (Eq. 2–5).
@@ -211,6 +216,7 @@ def simulate_system(
     admission: AdmissionController | bool | None = None,
     max_cycles: int | None = None,
     spares: int = 0,
+    no_fastpath: bool = False,
 ) -> SimulationRun:
     """Simulate ``system`` with ``blocks`` backlogged blocks per stream.
 
@@ -227,6 +233,10 @@ def simulate_system(
     ``max_cycles``, when given, replaces the conservative deadlock cap and
     turns hitting it into a :class:`SimulationStalled` error whose message
     names the stalled gateways and streams.
+
+    ``no_fastpath=True`` disables the ring's fused fast path for this run
+    (equivalent to the ``REPRO_NO_FASTPATH=1`` environment kill switch) —
+    observable behaviour must not change, only execution speed.
 
     A plan containing ``stream_join``/``stream_leave`` requests — or a
     positive ``spares`` count (dormant cold-spare tiles for permanent-
@@ -252,6 +262,10 @@ def simulate_system(
         trace_mode=trace_mode,
         trace_capacity=trace_capacity,
     )
+    if no_fastpath:
+        # per-run override of the fused ring fast path (the differential
+        # suite and the REPRO_NO_FASTPATH CI leg compare against this)
+        soc.ring.fastpath = False
     prod = soc.add_processor("prod")
     cons = soc.add_processor("cons")
     entry_station = 2

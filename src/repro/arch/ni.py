@@ -10,6 +10,17 @@ opposite direction as the data").
 
 The ``α1 = α2 = 2``-token NI buffers of the paper's CSDF model (Fig. 5) are
 exactly the ``capacity`` of these channels.
+
+Both the data flit posted by :meth:`HardwareFifoChannel.send` and the credit
+flit returned by :meth:`HardwareFifoChannel.recv` are single posted writes,
+so they ride the ring's fused fast path (DESIGN.md §7) whenever their route
+is unobstructed — no per-hop generator, and the in-flight accounting
+(:attr:`~HardwareFifoChannel.words_in_flight` /
+:attr:`~HardwareFifoChannel.credits_in_flight`) the gateway's quiescence and
+repair logic relies on stays exact because delivery side effects run at the
+same cycle on either path.  Per-channel take rates are tracked in
+:attr:`~HardwareFifoChannel.flits_fast` / :attr:`~HardwareFifoChannel
+.flits_slow`.
 """
 
 from __future__ import annotations
@@ -52,6 +63,22 @@ class HardwareFifoChannel:
         self.words_in_flight = 0
         #: credit-return flits posted but not yet landed at the producer
         self.credits_in_flight = 0
+        #: this channel's flits that took the ring fast path / generator path
+        self.flits_fast = 0
+        self.flits_slow = 0
+        ring.clients.append(self)
+
+    def _counted_post(self, src: int, dst: int, payload: Any, ring_dir: str,
+                      on_delivery, events: bool = True):
+        """``ring.post`` plus this channel's own fast/slow flit attribution."""
+        before = self.ring.flits_fast[ring_dir]
+        out = self.ring.post(src, dst, payload, ring=ring_dir,
+                             on_delivery=on_delivery, events=events)
+        if self.ring.flits_fast[ring_dir] > before:
+            self.flits_fast += 1
+        else:
+            self.flits_slow += 1
+        return out
 
     # -- producer side ------------------------------------------------------
     def send(self, word: Any):
@@ -63,8 +90,8 @@ class HardwareFifoChannel:
         """
         yield self._credits.acquire(1)
         self.words_in_flight += 1
-        accepted, _delivered = self.ring.post(
-            self.src, self.dst, word, ring=DualRing.DATA, on_delivery=self._arrive
+        accepted, _delivered = self._counted_post(
+            self.src, self.dst, word, DualRing.DATA, self._arrive
         )
         yield accepted
         self.words_sent += 1
@@ -109,9 +136,9 @@ class HardwareFifoChannel:
 
     def _return_credit(self) -> None:
         self.credits_in_flight += 1
-        self.ring.post(
-            self.dst, self.src, None, ring=DualRing.CREDIT,
-            on_delivery=self._credit_lands,
+        self._counted_post(
+            self.dst, self.src, None, DualRing.CREDIT, self._credit_lands,
+            events=False,
         )
 
     def _credit_lands(self, _payload: Any) -> None:
@@ -153,3 +180,12 @@ class HardwareFifoChannel:
     def buffered(self) -> int:
         """Words currently waiting in the consumer-side buffer."""
         return self._buffer.level
+
+    def fastpath_stats(self) -> dict[str, Any]:
+        """Fast-path take rate for this channel's data + credit flits."""
+        flits = self.flits_fast + self.flits_slow
+        return {
+            "flits_fast": self.flits_fast,
+            "flits_slow": self.flits_slow,
+            "flit_take_rate": (self.flits_fast / flits) if flits else 0.0,
+        }

@@ -12,6 +12,7 @@ from .faults import (
 from .kernel import (
     AllOf,
     AnyOf,
+    Callback,
     Event,
     Interrupt,
     Process,
@@ -22,6 +23,7 @@ from .kernel import (
 from .metrics import (
     GatewayUtilization,
     StreamMetrics,
+    fastpath_summary,
     gateway_utilization,
     metrics_table,
     observed_sample_latency,
@@ -34,6 +36,7 @@ __all__ = [
     "AdmissionController",
     "AllOf",
     "AnyOf",
+    "Callback",
     "Event",
     "FaultError",
     "FaultInjector",
@@ -55,6 +58,7 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "WatchdogConfig",
+    "fastpath_summary",
     "gateway_utilization",
     "metrics_table",
     "observed_sample_latency",

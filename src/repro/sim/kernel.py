@@ -37,6 +37,7 @@ from typing import Any
 __all__ = [
     "Event",
     "Timeout",
+    "Callback",
     "Process",
     "Simulator",
     "Interrupt",
@@ -193,6 +194,85 @@ class Timeout(Event):
                 _heappush(sim._times, when)
             else:
                 bucket.append(self)
+
+
+class Callback(Event):
+    """A bare function invocation at an absolute cycle.
+
+    The lightweight half of a *precompiled event chain* (see
+    :meth:`Simulator.schedule_at`): where a generator process costs a
+    :class:`Process` object plus one resume per ``yield``, a Callback is a
+    single event whose only callback is ``fn`` itself.  It follows the full
+    event contract — it lives in the calendar buckets, fires in FIFO order
+    within its cycle, can be :meth:`~Event.cancel`-led lazily, survives
+    ``run(until=cycle)`` clamping past idle tails, and extra watchers may
+    ``add_callback`` (they run after ``fn``).
+
+    With ``defer=True`` the callback fires *late* within its cycle: when
+    dispatch reaches it, it re-appends a tail event to the end of the
+    cycle's live firing list and runs ``fn`` there, i.e. after every event
+    that was scheduled for the cycle before the cycle began — the
+    within-cycle position a generator resume would occupy after being
+    appended behind continuously re-scheduled pollers.  (The ring's
+    compiled transit ultimately went further — ``_FastFlit`` subclasses
+    :class:`Event` directly and re-arms itself, avoiding even the
+    one-Callback-per-step allocation — but Callback remains the
+    general-purpose chain primitive and is pinned by the kernel tests.)
+    """
+
+    __slots__ = ("fn", "defer")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cycle: int,
+        fn: Callable[[], None],
+        defer: bool = False,
+    ) -> None:
+        cycle = int(cycle)
+        if cycle < sim.now:
+            raise SimulationError(
+                f"cannot schedule a callback in the past "
+                f"(cycle {cycle} < now {sim.now})"
+            )
+        # flat one-pass init, same as Timeout: this is a hot-path allocation
+        self.sim = sim
+        self.callbacks = [self._invoke]
+        self._value = None
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._cancelled = False
+        self.fn = fn
+        self.defer = defer
+        if cycle == sim._active_cycle:
+            sim._active.append(self)
+        else:
+            bucket = sim._buckets.get(cycle)
+            if bucket is None:
+                sim._buckets[cycle] = [self]
+                _heappush(sim._times, cycle)
+            else:
+                bucket.append(self)
+
+    def _invoke(self, _event: "Event") -> None:
+        if self.defer and self.sim._active is not None:
+            # Re-enter the live bucket at the tail: build the tail event with
+            # the same flat init (the head's callbacks list is already
+            # consumed by the dispatch loop, so it cannot be requeued).
+            tail = Callback.__new__(Callback)
+            tail.sim = self.sim
+            tail.callbacks = [tail._invoke]
+            tail._value = None
+            tail._ok = True
+            tail._triggered = True
+            tail._processed = False
+            tail._cancelled = self._cancelled
+            tail.fn = self.fn
+            tail.defer = False
+            self.sim._active.append(tail)
+            return
+        self.fn()
 
 
 class AllOf(Event):
@@ -470,6 +550,24 @@ class Simulator:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """An event firing ``delay`` cycles from now."""
         return Timeout(self, int(delay), value)
+
+    def schedule_at(
+        self, cycle: int, fn: Callable[[], None], defer: bool = False
+    ) -> Callback:
+        """Run ``fn()`` at absolute ``cycle``; returns the cancellable event.
+
+        This is the precompiled-event-chain primitive: work whose timing
+        is known in closed form at injection schedules its side effects
+        as plain callbacks instead of driving a generator through every
+        step.  The
+        returned :class:`Callback` obeys the normal event contract
+        (deterministic FIFO order within the cycle, lazy ``cancel()``,
+        unaffected by ``run(until=...)`` horizon clamping short of its
+        cycle).  ``defer=True`` pushes ``fn`` to the tail of its cycle's
+        firing list, reproducing the within-cycle position of a generator
+        resume (see :class:`Callback`).
+        """
+        return Callback(self, cycle, fn, defer)
 
     def process(self, gen: Generator[Event, Any, Any], name: str | None = None) -> Process:
         """Register and start a generator as a simulated process."""

@@ -31,6 +31,7 @@ __all__ = [
     "stream_metrics",
     "gateway_utilization",
     "observed_sample_latency",
+    "fastpath_summary",
     "metrics_table",
 ]
 
@@ -268,6 +269,29 @@ def gateway_utilization(entry: Any, horizon: int) -> GatewayUtilization:
         poll_cycles=entry.wait_cycles,
         blocks_admitted=entry.blocks_admitted,
     )
+
+
+def fastpath_summary(ring: Any) -> dict[str, Any]:
+    """Fused-data-path take rates for one ring and its registered clients.
+
+    ``ring`` is duck-typed (``sim`` must not import ``arch``): it needs
+    ``fastpath``, a ``fastpath_stats()`` method, and a ``clients`` list of
+    components each exposing ``name`` and ``fastpath_stats()`` (C-FIFOs and
+    NI channels register themselves at construction).  The aggregate
+    ``take_rate`` is the fused fraction of all flits the ring carried;
+    eligibility regressions show up here first, so the summary is embedded
+    in every ``metrics`` report the sweep artifacts record.
+    """
+    rings = ring.fastpath_stats()
+    fast = sum(r["fast"] for r in rings.values())
+    slow = sum(r["slow"] for r in rings.values())
+    total = fast + slow
+    return {
+        "enabled": bool(ring.fastpath),
+        "take_rate": (fast / total) if total else 0.0,
+        "rings": rings,
+        "clients": {c.name: c.fastpath_stats() for c in ring.clients},
+    }
 
 
 def metrics_table(metrics: Iterable[StreamMetrics]) -> str:
