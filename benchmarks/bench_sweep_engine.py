@@ -15,13 +15,27 @@ regression in either claim is visible in the artifact diff.  Wall-clock
 parallel speedup is asserted only on hosts with ≥4 CPUs — on smaller
 machines the pool cannot beat the serial loop and the artifact records
 why.
+
+The artifact also carries a ``resilience`` section — kill → resume →
+complete, measured: a run interrupted after its first journaled chunk
+and resumed from the result store, and a chaos run whose work-queue
+worker is SIGKILLed mid-chunk, must both land on the undisturbed serial
+digest.
 """
 
 import os
+import tempfile
 
 from repro.core.config_io import dump_report, load_report
 from repro.core import make_report
-from repro.exp import Sweep, run_sweep
+from repro.exp import (
+    ChaosEvent,
+    ChaosPlan,
+    Sweep,
+    SweepInterrupted,
+    run_chaos_sweep,
+    run_sweep,
+)
 from repro.exp.tasks import scalability_blocksizes
 
 from conftest import banner
@@ -73,6 +87,42 @@ def test_sweep_serial_parallel_bit_identical(benchmark):
     assert parallel.payload() == serial.payload()
 
 
+def _resilience_scenario(sweep, reference_digest):
+    """kill → resume → complete: the crash-tolerance claim, measured.
+
+    Two disturbances against the same sweep, both required to land on the
+    reference digest: (a) an interrupt after the first journaled chunk
+    followed by a ``--resume`` run, and (b) a chaos run on the work-queue
+    backend whose first chunk's worker is SIGKILLed mid-flight.
+    """
+    with tempfile.TemporaryDirectory() as store:
+        try:
+            run_sweep(sweep, workers=1, store=store, interrupt_after=1)
+            raise AssertionError("interrupt_after=1 did not interrupt")
+        except SweepInterrupted as err:
+            journaled = err.completed_chunks
+        resumed = run_sweep(sweep, workers=1, store=store, resume=True)
+    plan = ChaosPlan(seed=13, events=(ChaosEvent(chunk=0, action="kill"),))
+    chaotic, monkey = run_chaos_sweep(sweep, plan, workers=2)
+    return {
+        "interrupt_resume": {
+            "journaled_chunks_at_kill": journaled,
+            "resumed_chunks": resumed.resumed_chunks,
+            "store_point_hits": resumed.store_hits,
+            "digest": resumed.digest(),
+            "digest_matches_serial": resumed.digest() == reference_digest,
+        },
+        "chaos_kill": {
+            "plan": plan.to_dict(),
+            "strikes": len(monkey.log),
+            "worker_restarts": chaotic.worker_restarts,
+            "quarantined": chaotic.quarantined,
+            "digest": chaotic.digest(),
+            "digest_matches_serial": chaotic.digest() == reference_digest,
+        },
+    }
+
+
 def test_sweep_engine_artifact(benchmark):
     """One full comparison run, persisted as BENCH_sweep_engine.json."""
     sweep = make_sweep()
@@ -86,6 +136,7 @@ def test_sweep_engine_artifact(benchmark):
 
     cold, cached, parallel = benchmark.pedantic(full_run, rounds=1)
     identical = (cold.digest() == cached.digest() == parallel.digest())
+    resilience = _resilience_scenario(sweep, cached.digest())
     report = make_report("sweep", {
         "name": "sweep_engine",
         "axes": AXES,
@@ -104,6 +155,7 @@ def test_sweep_engine_artifact(benchmark):
             "speedup_parallel": round(cold.elapsed_s / parallel.elapsed_s, 2),
         },
         "solver_cache": cached.cache,
+        "resilience": resilience,
         "environment": {
             "cpu_count": os.cpu_count(),
             "parallel_workers": parallel.workers,
@@ -123,7 +175,14 @@ def test_sweep_engine_artifact(benchmark):
     print(f"speedup: cache {report['timing_s']['speedup_cache']}x, "
           f"parallel {report['timing_s']['speedup_parallel']}x "
           f"on {os.cpu_count()} CPU(s)")
+    print(f"resilience: resume matched={resilience['interrupt_resume']['digest_matches_serial']}, "
+          f"chaos matched={resilience['chaos_kill']['digest_matches_serial']} "
+          f"({resilience['chaos_kill']['strikes']} strike(s))")
     assert identical
+    assert resilience["interrupt_resume"]["digest_matches_serial"]
+    assert resilience["chaos_kill"]["digest_matches_serial"]
+    assert resilience["chaos_kill"]["strikes"] >= 1
+    assert resilience["chaos_kill"]["quarantined"] == []
     # the artifact round-trips through the versioned report schema
     assert load_report(open(ARTIFACT).read())["kind"] == "sweep"
     # genuine wall-clock parallel win is only physical with enough cores

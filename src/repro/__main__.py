@@ -392,11 +392,12 @@ def cmd_reconfig(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Fan a sweep-spec JSON out over worker processes; persist BENCH JSON."""
+    """Fan a sweep-spec JSON out over an execution backend; persist BENCH JSON."""
     import json
     from pathlib import Path
 
-    from .exp import Sweep, SweepError, run_sweep
+    from .exp import Sweep, SweepError, SweepInterrupted, run_sweep
+    from .exp.store import StoreMismatch
     from .exp.tasks import get_task
 
     try:
@@ -420,24 +421,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, SweepError) as exc:
         print(f"error: invalid sweep spec {args.spec}: {exc}", file=sys.stderr)
         return 2
+    if args.resume and args.store is None:
+        print("error: --resume needs --store DIR to resume from",
+              file=sys.stderr)
+        return 2
 
     workers = 1 if args.serial else args.workers
+    executor = "serial" if args.serial else args.executor
     chunk_size = spec.get("chunk_size")
-    result = run_sweep(
-        sweep, workers=workers, chunk_size=chunk_size,
-        timeout=args.timeout, retries=args.retries, out_dir=args.out,
-    )
+    try:
+        result = run_sweep(
+            sweep, workers=workers, chunk_size=chunk_size,
+            timeout=args.timeout, retries=args.retries, backoff=args.backoff,
+            executor=executor, store=args.store, resume=args.resume,
+            interrupt_after=args.interrupt_after, out_dir=args.out,
+        )
+    except StoreMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SweepInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print(f"resume with: repro sweep {args.spec} --store {args.store} "
+              "--resume", file=sys.stderr)
+        return 3
     path = Path(args.out) / f"BENCH_{result.name}.json"
     cache = result.cache
     print(f"sweep {result.name}: {len(result.outcomes)} point(s) on "
-          f"{result.workers} worker(s), chunk size {result.chunk_size}, "
-          f"{result.elapsed_s:.2f}s")
+          f"{result.workers} worker(s) ({result.mode}), chunk size "
+          f"{result.chunk_size}, {result.elapsed_s:.2f}s")
     print(f"solver cache: {cache['hits']}/{cache['lookups']} hits "
           f"({cache['hit_rate']:.0%}), {cache['warm_starts']} warm start(s)")
+    if result.store_path is not None:
+        print(f"store: {result.resumed_chunks}/{result.chunk_count} chunk(s) "
+              f"replayed from journal ({result.store_hits} point hit(s)), "
+              f"journal {result.store_path}")
+    if result.degraded or result.worker_restarts:
+        print(f"recovery: {result.worker_restarts} worker restart(s)"
+              + (", degraded to serial" if result.degraded else ""))
+    for q in result.quarantined:
+        print(f"  QUARANTINED {q['id']} (chunk {q['chunk']}, "
+              f"{q['failures']} worker death(s)): {q['error']}",
+              file=sys.stderr)
     print(f"wrote {path}")
     if args.check:
         serial = run_sweep(sweep, workers=1, chunk_size=chunk_size,
-                           timeout=args.timeout, retries=args.retries)
+                           timeout=args.timeout, retries=args.retries,
+                           backoff=args.backoff)
         if serial.digest() != result.digest():
             print("error: serial re-run digest mismatch — "
                   f"{serial.digest()[:16]} != {result.digest()[:16]}",
@@ -575,10 +604,26 @@ def main(argv: list[str] | None = None) -> int:
                    help="worker processes (default: min(4, cpu count))")
     p.add_argument("--serial", action="store_true",
                    help="run in-process (identical results, no pool)")
+    p.add_argument("--executor", choices=("serial", "pool", "queue"),
+                   default=None,
+                   help="execution backend (default: serial when workers "
+                        "<= 1, else pool; queue = crash-tolerant "
+                        "file-protocol work queue)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-point wall-clock limit in seconds")
     p.add_argument("--retries", type=int, default=0,
                    help="extra attempts per failing point")
+    p.add_argument("--backoff", type=float, default=0.0,
+                   help="base seconds for seeded exponential retry backoff")
+    p.add_argument("--store", default=None,
+                   help="result-store directory: journal completed chunks "
+                        "durably; matching journaled chunks replay as cache "
+                        "hits")
+    p.add_argument("--resume", action="store_true",
+                   help="require and resume a matching journal in --store "
+                        "(exit 3 from an interrupted run pairs with this)")
+    p.add_argument("--interrupt-after", type=int, default=None,
+                   help=argparse.SUPPRESS)  # CI/test hook: stop after N chunks
     p.add_argument("--out", default=".",
                    help="directory for BENCH_<name>.json (default: cwd)")
     p.add_argument("--check", action="store_true",

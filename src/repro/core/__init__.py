@@ -27,15 +27,22 @@ from .blocksize_ilp import (
     system_fingerprint,
 )
 from .config_io import (
+    JOURNAL_KINDS,
+    JOURNAL_SCHEMA,
+    JOURNAL_SCHEMA_VERSION,
     REPORT_KINDS,
     REPORT_SCHEMA,
     REPORT_SCHEMA_VERSION,
+    JournalError,
     ReportError,
+    dump_journal_entry,
     dump_report,
     dump_system,
     load_report,
     load_system,
+    make_journal_entry,
     make_report,
+    parse_journal_entry,
     system_from_dict,
     system_to_dict,
 )
@@ -129,6 +136,13 @@ __all__ = [
     "dump_report",
     "load_report",
     "make_report",
+    "JOURNAL_KINDS",
+    "JOURNAL_SCHEMA",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "dump_journal_entry",
+    "make_journal_entry",
+    "parse_journal_entry",
     "epsilon_hat",
     "gamma",
     "guaranteed_throughput",

@@ -37,6 +37,13 @@ __all__ = [
     "make_report",
     "dump_report",
     "load_report",
+    "JOURNAL_SCHEMA",
+    "JOURNAL_SCHEMA_VERSION",
+    "JOURNAL_KINDS",
+    "JournalError",
+    "make_journal_entry",
+    "dump_journal_entry",
+    "parse_journal_entry",
 ]
 
 
@@ -205,3 +212,82 @@ def _check_envelope(report: dict[str, Any]) -> None:
         )
     if report["kind"] not in REPORT_KINDS:
         raise ReportError(f"unknown report kind {report['kind']!r}")
+
+
+# ---------------------------------------------------------------------------
+# Journal schema — one-line envelopes for the durable sweep result store
+# ---------------------------------------------------------------------------
+#
+# The sweep engine's :class:`repro.exp.store.ResultStore` journals every
+# completed chunk as it lands so an interrupted run can resume.  Journals are
+# append-only JSONL: one envelope per line, written atomically enough that a
+# crash can at worst truncate the *final* line (readers tolerate a ragged
+# tail).  The envelope mirrors the report schema — versioned, kind-tagged —
+# but each entry is a single line, never pretty-printed.
+
+JOURNAL_SCHEMA = "repro.journal"
+JOURNAL_SCHEMA_VERSION = 1
+
+#: ``meta`` pins the sweep identity a journal belongs to; ``point`` is one
+#: durable point outcome; ``chunk`` marks a chunk fully journaled (the
+#: store's unit of resume — points without their chunk marker are re-run)
+JOURNAL_KINDS = frozenset({"meta", "point", "chunk"})
+
+
+class JournalError(ParameterError):
+    """Raised for malformed or mismatched journal entries."""
+
+
+def make_journal_entry(kind: str, body: dict[str, Any]) -> dict[str, Any]:
+    """Wrap ``body`` in the versioned one-line journal envelope."""
+    if kind not in JOURNAL_KINDS:
+        raise JournalError(
+            f"unknown journal kind {kind!r}; expected one of {sorted(JOURNAL_KINDS)}"
+        )
+    clash = [k for k in _ENVELOPE_KEYS if k in body]
+    if clash:
+        raise JournalError(f"journal body shadows envelope key(s): {clash}")
+    return {
+        "schema": JOURNAL_SCHEMA,
+        "version": JOURNAL_SCHEMA_VERSION,
+        "kind": kind,
+        **body,
+    }
+
+
+def dump_journal_entry(entry: dict[str, Any]) -> str:
+    """Serialise a journal entry to exactly one JSON line (no newline)."""
+    _check_journal_envelope(entry)
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def parse_journal_entry(line: str) -> dict[str, Any]:
+    """Parse and validate one journal line produced by :func:`dump_journal_entry`."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise JournalError(f"invalid journal line: {err}") from err
+    if not isinstance(data, dict):
+        raise JournalError(
+            f"journal entry must be a JSON object, got {type(data).__name__}"
+        )
+    _check_journal_envelope(data)
+    return data
+
+
+def _check_journal_envelope(entry: dict[str, Any]) -> None:
+    missing = [k for k in _ENVELOPE_KEYS if k not in entry]
+    if missing:
+        raise JournalError(f"journal entry missing envelope key(s): {missing}")
+    if entry["schema"] != JOURNAL_SCHEMA:
+        raise JournalError(
+            f"unknown journal schema {entry['schema']!r} "
+            f"(expected {JOURNAL_SCHEMA!r})"
+        )
+    if entry["version"] != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"unsupported journal version {entry['version']!r} "
+            f"(this build reads version {JOURNAL_SCHEMA_VERSION})"
+        )
+    if entry["kind"] not in JOURNAL_KINDS:
+        raise JournalError(f"unknown journal kind {entry['kind']!r}")

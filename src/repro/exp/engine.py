@@ -1,30 +1,48 @@
-"""The parallel experiment engine: fan a :class:`~repro.exp.sweep.Sweep` out.
+"""The experiment engine: fan a :class:`~repro.exp.sweep.Sweep` out.
 
 Execution model
 ---------------
 
 Points are split into fixed-size *chunks* (consecutive slices in point
-order).  Each chunk is evaluated by one worker process via
-:class:`concurrent.futures.ProcessPoolExecutor`; within a chunk, points
-run serially against a fresh chunk-local :class:`~repro.exp.cache.SolverCache`,
-so warm starts flow between neighbouring points of the same chunk.  Serial
-mode (``workers <= 1``) runs the *same* chunks in the same order in
-process — which is what makes the central guarantee possible:
+order).  Each chunk is evaluated by one worker via a pluggable
+:class:`~repro.exp.executors.Executor` backend — in-process serial, a
+crash-tolerant ``concurrent.futures`` process pool, or a spawn-safe
+file-protocol work queue of independent worker processes.  Within a chunk,
+points run serially against a fresh chunk-local
+:class:`~repro.exp.cache.SolverCache`, so warm starts flow between
+neighbouring points of the same chunk and never across chunks — which is
+what makes the central guarantee possible:
 
-    **serial and parallel execution produce bit-identical merged
-    results**, because every deterministic input of a point (its params,
-    its seed, its chunk-local cache history) is independent of worker
-    count and scheduling.
+    **every backend produces bit-identical merged results**, because every
+    deterministic input of a point (its params, its seed, its chunk-local
+    cache history) is independent of worker count, scheduling, crashes and
+    restarts.
 
-Wall-clock timings and worker attribution are recorded separately in the
-report's ``execution`` section, which is explicitly excluded from
-:meth:`SweepResult.digest`.
+Durability & resume
+-------------------
 
-Per-point guard rails: a point that raises is retried up to ``retries``
-times (each attempt re-seeded deterministically) and then recorded as a
-failed outcome instead of poisoning the run; an optional wall-clock
-``timeout`` per point is enforced in-worker via ``SIGALRM`` on platforms
-that have it.
+Arm a :class:`~repro.exp.store.ResultStore` (``store=``) and every
+completed chunk is journaled as it lands; an interrupted or killed run
+resumes incrementally (chunks already on disk replay without executing a
+task) and a re-run of an identical spec is a pure cache hit.  The
+``resume`` flag demands a matching journal exist; ``interrupt_after``
+deterministically stops a run after N freshly executed chunks by raising
+:class:`SweepInterrupted` — the hook CI and the chaos benchmarks use to
+prove the kill → resume → digest-equality cycle.
+
+Fault tolerance
+---------------
+
+Per point: deterministic seeded retries with jittered exponential backoff
+and a wall-clock timeout (``SIGALRM`` pre-emption where available, a
+watchdog-thread deadline everywhere else — the mechanism that enforced it
+is recorded in the report).  Per worker: dead-worker detection with chunk
+re-dispatch (exactly-once per point in the merged output via chunk-indexed
+commits), poison-point quarantine after repeated crashes (recorded in the
+report, never silently dropped), and graceful degradation to serial
+execution when workers keep dying.  Wall-clock timings and worker
+attribution live in the report's ``execution`` section, which is
+explicitly excluded from :meth:`SweepResult.digest`.
 """
 
 from __future__ import annotations
@@ -32,20 +50,27 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import signal
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any
 
 from ..core.config_io import dump_report, make_report
-from .cache import SolverCache
-from .sweep import Sweep, SweepError, SweepPoint
+from .executors import Executor, StopExecution, resolve_executor
+from .runner import (  # noqa: F401  (re-exported: public/engine-test surface)
+    ChunkRunner,
+    PointContext,
+    PointOutcome,
+    _call_with_timeout,
+    _PointTimeout,
+)
+from .store import ResultStore, StoreSession, sweep_fingerprint
+from .sweep import Sweep, SweepError
 
 __all__ = [
     "PointContext",
     "PointOutcome",
+    "SweepInterrupted",
     "SweepResult",
     "run_sweep",
     "write_benchmark",
@@ -57,41 +82,23 @@ __all__ = [
 DEFAULT_CHUNK_SIZE = 4
 
 
-@dataclass(frozen=True)
-class PointContext:
-    """What a task sees besides its params: seed, attempt, solver cache."""
+class SweepInterrupted(RuntimeError):
+    """A run stopped early with its progress durably journaled.
 
-    seed: int
-    attempt: int = 0
-    cache: SolverCache | None = None
+    Raised when ``interrupt_after`` fires (or an executor reports a stop).
+    Resume by re-running the same spec against the same store.
+    """
 
-
-@dataclass(frozen=True)
-class PointOutcome:
-    """Result of one point: either a ``value`` dict or an ``error`` string."""
-
-    id: str
-    params: dict[str, Any]
-    seed: int
-    value: dict[str, Any] | None
-    error: str | None = None
-    attempts: int = 1
-    wall_ms: float = 0.0
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-    def payload(self) -> dict[str, Any]:
-        """The deterministic slice (no timings) used for digests."""
-        return {
-            "id": self.id,
-            "params": self.params,
-            "seed": self.seed,
-            "value": self.value,
-            "error": self.error,
-            "attempts": self.attempts,
-        }
+    def __init__(self, name: str, completed: int, total: int,
+                 store_path: str | None) -> None:
+        super().__init__(
+            f"sweep {name!r} interrupted with {completed}/{total} chunk(s) "
+            f"journaled" + (f" in {store_path}" if store_path else "")
+        )
+        self.name = name
+        self.completed_chunks = completed
+        self.chunk_count = total
+        self.store_path = store_path
 
 
 @dataclass
@@ -114,6 +121,22 @@ class SweepResult:
     #: measured with cpu_count 1 is a serial run in disguise
     cpu_count: int | None = None
     mode: str = "serial"
+    #: executor fell back to in-process serial after workers kept dying
+    degraded: bool = False
+    #: pool rebuilds / replacement queue workers spawned
+    worker_restarts: int = 0
+    #: points recorded via poison quarantine: ``{id, chunk, failures, error}``
+    quarantined: list[dict[str, Any]] = field(default_factory=list)
+    #: chunks replayed from the result store instead of executed
+    resumed_chunks: int = 0
+    #: point outcomes served from the store (pure cache hits)
+    store_hits: int = 0
+    #: journal path when a store was armed
+    store_path: str | None = None
+    #: wall-clock timeout enforcement used ("sigalrm" | "wall-clock" | None)
+    timeout_mechanism: str | None = None
+    #: per-point timeout limit in seconds (None = unbounded)
+    timeout_s: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -127,6 +150,11 @@ class SweepResult:
     def failed(self) -> list[PointOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
+    @property
+    def retried(self) -> list[PointOutcome]:
+        """Points that needed more than one attempt (seeds recorded)."""
+        return [o for o in self.outcomes if o.attempts > 1]
+
     def payload(self) -> list[dict[str, Any]]:
         """Deterministic merged results, in sweep point order."""
         return [o.payload() for o in self.outcomes]
@@ -134,9 +162,9 @@ class SweepResult:
     def digest(self) -> str:
         """SHA-256 over the canonical JSON of :meth:`payload`.
 
-        Two runs of the same sweep — any worker count, any scheduling —
-        must produce equal digests; the executable form of the engine's
-        determinism guarantee.
+        Two runs of the same sweep — any backend, any worker count, any
+        crash/resume history — must produce equal digests; the executable
+        form of the engine's determinism guarantee.
         """
         blob = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -152,11 +180,27 @@ class SweepResult:
                 "requested_workers": self.requested_workers,
                 "effective_workers": self.effective_workers,
                 "mode": self.mode,
+                "degraded": self.degraded,
+                "worker_restarts": self.worker_restarts,
                 "chunk_size": self.chunk_size,
                 "chunk_count": self.chunk_count,
                 "cpu_count": self.cpu_count,
                 "elapsed_s": self.elapsed_s,
                 "failed_points": [o.id for o in self.failed],
+                "quarantined": self.quarantined,
+                "retried_points": {
+                    o.id: {"attempts": o.attempts, "retry_seed": o.retry_seed}
+                    for o in self.retried
+                },
+                "timeout": {
+                    "limit_s": self.timeout_s,
+                    "mechanism": self.timeout_mechanism,
+                },
+                "store": None if self.store_path is None else {
+                    "path": self.store_path,
+                    "resumed_chunks": self.resumed_chunks,
+                    "point_hits": self.store_hits,
+                },
                 "wall_ms": {o.id: o.wall_ms for o in self.outcomes},
                 "solver_cache": self.cache,
             },
@@ -183,6 +227,11 @@ def run_sweep(
     retries: int = 0,
     cache: bool = True,
     out_dir: str | Path | None = None,
+    executor: Executor | str | None = None,
+    store: ResultStore | str | Path | None = None,
+    resume: bool = False,
+    backoff: float = 0.0,
+    interrupt_after: int | None = None,
 ) -> SweepResult:
     """Execute ``sweep`` and merge the outcomes in point order.
 
@@ -193,18 +242,40 @@ def run_sweep(
         runs serially in-process (identical results by construction).
     chunk_size:
         Points per chunk (default :data:`DEFAULT_CHUNK_SIZE`).  Must be
-        identical between runs whose digests are compared.
+        identical between runs whose digests are compared (and between a
+        run and its resume — the store enforces this).
     timeout:
-        Per-point wall-clock limit in seconds (in-worker ``SIGALRM``;
-        silently unenforced on platforms without it).  A timed-out attempt
-        counts as a failure and is retried like any other error.
+        Per-point wall-clock limit in seconds.  Enforced pre-emptively via
+        ``SIGALRM`` where available, otherwise by a watchdog-thread
+        deadline; the mechanism used is recorded in the report.  A
+        timed-out attempt counts as a failure and is retried like any
+        other error.
     retries:
-        Extra attempts per failing point before recording the error.
+        Extra attempts per failing point before recording the error; each
+        attempt's seed is derived deterministically and recorded.
     cache:
         Arm the chunk-local :class:`SolverCache` (disable for cold-solve
         baselines).
     out_dir:
         When given, persist ``BENCH_<name>.json`` there before returning.
+    executor:
+        Backend: ``"serial"``, ``"pool"``, ``"queue"``, an
+        :class:`~repro.exp.executors.Executor` instance, or ``None`` to
+        pick serial/pool from ``workers``.
+    store:
+        A :class:`~repro.exp.store.ResultStore` (or its directory path).
+        When armed, completed chunks are durably journaled as they land
+        and matching journaled chunks are replayed instead of executed.
+    resume:
+        Require a matching journal in ``store`` (raise otherwise) — the
+        explicit "continue where the last run died" switch.
+    backoff:
+        Base seconds for the deterministic jittered exponential retry
+        backoff (0 = retry immediately).
+    interrupt_after:
+        Stop after this many *freshly executed* chunks have been journaled
+        by raising :class:`SweepInterrupted` (testing/CI hook for the
+        interrupt → resume → digest-equality cycle).
     """
     requested_workers = workers
     if workers is None:
@@ -217,36 +288,100 @@ def run_sweep(
         raise SweepError(f"retries must be >= 0, got {retries}")
     if timeout is not None and timeout <= 0:
         raise SweepError(f"timeout must be positive, got {timeout}")
+    if backoff < 0:
+        raise SweepError(f"backoff must be >= 0, got {backoff}")
+    if interrupt_after is not None and interrupt_after < 1:
+        raise SweepError(
+            f"interrupt_after must be >= 1, got {interrupt_after}"
+        )
+    if resume and store is None:
+        raise SweepError("resume=True needs a store to resume from")
 
     chunks = [
         sweep.points[i:i + chunk_size]
         for i in range(0, len(sweep.points), chunk_size)
     ]
+    runner = ChunkRunner(
+        task=sweep.task, retries=retries, timeout=timeout,
+        backoff=backoff, use_cache=cache,
+    )
+    backend = resolve_executor(executor, workers)
+
+    session: StoreSession | None = None
+    if store is not None:
+        result_store = (
+            store if isinstance(store, ResultStore) else ResultStore(store)
+        )
+        session = result_store.begin(
+            sweep.name,
+            sweep_fingerprint(sweep, chunk_size, retries, timeout, cache),
+            chunk_count=len(chunks),
+            resume=resume,
+        )
+
+    completed: dict[int, tuple[list[PointOutcome], dict[str, Any]]] = (
+        dict(session.completed) if session is not None else {}
+    )
+    resumed_chunks = len(completed)
+    executed = 0
+
+    def on_chunk(index: int, outcomes: list[PointOutcome],
+                 stats: dict[str, Any]) -> None:
+        nonlocal executed
+        if index in completed:
+            return  # a re-dispatched twin already landed: exactly-once
+        completed[index] = (outcomes, stats)
+        if session is not None:
+            session.record_chunk(index, outcomes, stats)
+        executed += 1
+        if (
+            interrupt_after is not None
+            and executed >= interrupt_after
+            and len(completed) < len(chunks)
+        ):
+            raise StopExecution()
+
+    pending = [
+        (i, chunk) for i, chunk in enumerate(chunks) if i not in completed
+    ]
+    info = {"mode": backend.name, "effective_workers": 1, "degraded": False,
+            "worker_restarts": 0, "quarantined": [], "stopped": False}
     started = time.perf_counter()
-    if workers <= 1:
-        parts = [
-            _run_chunk(sweep.task, chunk, retries, timeout, cache)
-            for chunk in chunks
-        ]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_chunk, sweep.task, chunk, retries, timeout, cache)
-                for chunk in chunks
-            ]
-            parts = [f.result() for f in futures]
+    try:
+        if pending:
+            info = backend.run(pending, runner, on_chunk)
+    finally:
+        if session is not None:
+            session.close()
     elapsed = time.perf_counter() - started
+
+    if info.get("stopped"):
+        raise SweepInterrupted(
+            sweep.name, len(completed), len(chunks),
+            str(session.path) if session is not None else None,
+        )
+    missing = [i for i in range(len(chunks)) if i not in completed]
+    if missing:  # pragma: no cover - executor contract violation
+        raise SweepError(
+            f"executor {info.get('mode')!r} lost chunk(s) {missing} — "
+            "refusing to merge a partial sweep"
+        )
 
     outcomes: list[PointOutcome] = []
     totals = {"lookups": 0, "hits": 0, "misses": 0, "warm_starts": 0}
-    for chunk_outcomes, stats in parts:
+    mechanism: str | None = None
+    for index in range(len(chunks)):
+        chunk_outcomes, stats = completed[index]
         outcomes.extend(chunk_outcomes)
+        mechanism = mechanism or stats.get("timeout_mechanism")
         for key in totals:
             totals[key] += stats.get(key, 0)
     totals["hit_rate"] = (
         totals["hits"] / totals["lookups"] if totals["lookups"] else 0.0
     )
     totals["enabled"] = cache
+
+    serial_like = info.get("mode", backend.name) == "serial"
     result = SweepResult(
         name=sweep.name,
         outcomes=outcomes,
@@ -255,91 +390,22 @@ def run_sweep(
         elapsed_s=elapsed,
         cache=totals,
         requested_workers=requested_workers,
-        effective_workers=1 if workers <= 1 else min(workers, len(chunks)),
+        effective_workers=(
+            1 if serial_like
+            else min(info.get("effective_workers", workers), len(chunks))
+        ),
         chunk_count=len(chunks),
         cpu_count=os.cpu_count(),
-        mode="serial" if workers <= 1 else "process-pool",
+        mode=info.get("mode", backend.name),
+        degraded=bool(info.get("degraded", False)),
+        worker_restarts=int(info.get("worker_restarts", 0)),
+        quarantined=list(info.get("quarantined", [])),
+        resumed_chunks=resumed_chunks,
+        store_hits=session.hits if session is not None else 0,
+        store_path=str(session.path) if session is not None else None,
+        timeout_mechanism=mechanism,
+        timeout_s=timeout,
     )
     if out_dir is not None:
         result.write(out_dir)
     return result
-
-
-class _PointTimeout(Exception):
-    """A point exceeded its wall-clock budget."""
-
-
-def _run_chunk(
-    task: Callable[..., dict],
-    points: tuple[SweepPoint, ...],
-    retries: int,
-    timeout: float | None,
-    use_cache: bool,
-) -> tuple[list[PointOutcome], dict[str, Any]]:
-    """Evaluate one chunk serially with a fresh chunk-local cache.
-
-    Top-level (not a closure) so the process pool can pickle it.
-    """
-    solver_cache = SolverCache() if use_cache else None
-    outcomes: list[PointOutcome] = []
-    for point in points:
-        value: dict[str, Any] | None = None
-        error: str | None = None
-        attempts = 0
-        t0 = time.perf_counter()
-        for attempt in range(retries + 1):
-            attempts = attempt + 1
-            ctx = PointContext(
-                seed=point.seed + attempt, attempt=attempt, cache=solver_cache
-            )
-            try:
-                value = _call_with_timeout(task, point, ctx, timeout)
-                error = None
-                break
-            except _PointTimeout:
-                error = f"timeout after {timeout}s"
-            except Exception as err:
-                error = f"{type(err).__name__}: {err}"
-        wall_ms = (time.perf_counter() - t0) * 1000.0
-        if error is None and not isinstance(value, dict):
-            error = (
-                f"task returned {type(value).__name__}, expected a dict"
-            )
-            value = None
-        outcomes.append(PointOutcome(
-            id=point.id, params=dict(point.params), seed=point.seed,
-            value=value, error=error, attempts=attempts, wall_ms=wall_ms,
-        ))
-    stats = solver_cache.stats() if solver_cache is not None else {}
-    return outcomes, stats
-
-
-def _call_with_timeout(
-    task: Callable[..., dict],
-    point: SweepPoint,
-    ctx: PointContext,
-    timeout: float | None,
-) -> dict[str, Any]:
-    if timeout is None or not hasattr(signal, "setitimer"):
-        return task(dict(point.params), ctx)
-    # SIGALRM-based guard: only usable from a process's main thread, which
-    # is where pool workers (and the serial path) run chunk code
-    def _alarm(signum, frame):
-        raise _PointTimeout()
-
-    previous = signal.signal(signal.SIGALRM, _alarm)
-    started = time.monotonic()
-    # setitimer returns the *old* timer; an outer alarm (e.g. a caller's own
-    # watchdog) must be re-armed with its remaining budget, not wiped to 0.0
-    outer_delay, outer_interval = signal.setitimer(signal.ITIMER_REAL, timeout)
-    try:
-        return task(dict(point.params), ctx)
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-        if outer_delay > 0.0:
-            remaining = outer_delay - (time.monotonic() - started)
-            # an already-overdue outer timer still must fire: arm the minimum
-            signal.setitimer(
-                signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
-            )

@@ -1,0 +1,655 @@
+"""Pluggable execution backends for the sweep engine.
+
+The engine hands every backend the same inputs — a list of ``(chunk_index,
+points)`` jobs plus a picklable :class:`~repro.exp.runner.ChunkRunner` —
+and requires the same contract back:
+
+* call ``on_chunk(index, outcomes, stats)`` **as each chunk lands** (the
+  engine journals it durably before the next chunk is acknowledged);
+* deliver **exactly one** outcome list per chunk index, each computed by
+  :meth:`ChunkRunner.run` (the single shared evaluation loop), so results
+  are a pure function of the spec regardless of backend;
+* survive dying workers: re-dispatch lost chunks, quarantine poison
+  chunks instead of looping forever, and degrade to in-process serial
+  execution when workers keep dying;
+* honour ``on_chunk`` raising :class:`StopExecution` — stop dispatching,
+  tear down, and report ``stopped=True`` (the engine turns this into a
+  resumable :class:`~repro.exp.engine.SweepInterrupted`).
+
+Backends
+--------
+
+:class:`SerialExecutor`
+    Runs chunks in-process, in order.  The reference semantics.
+
+:class:`ProcessPoolExecutor`
+    ``concurrent.futures`` pool with dead-worker detection: a SIGKILLed or
+    OOM-killed worker breaks the pool, the executor rebuilds it and
+    re-dispatches every chunk that had no result yet.  Chunks that keep
+    crashing workers are quarantined via isolated prefix replay; after
+    ``degrade_after`` pool breakages the remainder runs serially.
+
+:class:`WorkQueueExecutor`
+    A spawn-safe, file-protocol work queue: the parent serialises chunks
+    into ``tasks/``, independent worker *processes* (``python -m
+    repro.exp.worker``) claim them by atomic rename into ``claims/`` and
+    commit results by atomic rename into ``results/``.  The parent polls,
+    reaps dead workers (re-queueing their claims), SIGKILLs workers whose
+    claim lease expired (stall recovery), respawns up to a restart budget,
+    and — like the pool — quarantines poison chunks and degrades to serial
+    when the worker fleet cannot be kept alive.  Because the protocol is
+    plain files + atomic renames, it tolerates SIGKILL at *any* instant:
+    the chaos harness (:mod:`repro.exp.chaos`) leans on exactly this.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from abc import ABC, abstractmethod
+from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from tempfile import mkdtemp
+from typing import Any, Callable
+
+from .runner import ChunkRunner, PointOutcome
+from .sweep import SweepPoint
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "WorkQueueExecutor",
+    "StopExecution",
+    "resolve_executor",
+]
+
+#: jobs are ``(chunk_index, points)``; outcomes flow back through on_chunk
+Job = tuple[int, tuple[SweepPoint, ...]]
+OnChunk = Callable[[int, list[PointOutcome], dict[str, Any]], None]
+
+
+class StopExecution(Exception):
+    """Raised *by the on_chunk callback* to stop an executor mid-run."""
+
+
+class Executor(ABC):
+    """One way of evaluating chunks; see the module docstring contract."""
+
+    #: mode string recorded in the report execution section
+    name = "abstract"
+
+    @abstractmethod
+    def run(
+        self, jobs: list[Job], runner: ChunkRunner, on_chunk: OnChunk
+    ) -> dict[str, Any]:
+        """Evaluate every job; returns the execution-info dict."""
+
+    def _info(self, **overrides: Any) -> dict[str, Any]:
+        info = {
+            "mode": self.name,
+            "effective_workers": 1,
+            "degraded": False,
+            "worker_restarts": 0,
+            "quarantined": [],
+            "stopped": False,
+        }
+        info.update(overrides)
+        return info
+
+
+def resolve_executor(
+    executor: "Executor | str | None", workers: int
+) -> "Executor":
+    """Map the engine's ``executor`` argument onto a backend instance."""
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        executor = "serial" if workers <= 1 else "pool"
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "pool":
+        return ProcessPoolExecutor(workers=max(2, workers))
+    if executor == "queue":
+        return WorkQueueExecutor(workers=max(2, workers))
+    raise ValueError(
+        f"unknown executor {executor!r}; expected 'serial', 'pool', 'queue' "
+        "or an Executor instance"
+    )
+
+
+def _run_chunk_job(
+    runner: ChunkRunner, index: int, points: tuple[SweepPoint, ...]
+) -> tuple[int, list[PointOutcome], dict[str, Any]]:
+    """Top-level (hence picklable) chunk evaluation for pool workers."""
+    outcomes, stats = runner.run(points)
+    return index, outcomes, stats
+
+
+# ---------------------------------------------------------------------------
+# serial
+# ---------------------------------------------------------------------------
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order evaluation — the reference backend."""
+
+    name = "serial"
+
+    def run(self, jobs, runner, on_chunk):
+        for index, points in sorted(jobs):
+            outcomes, stats = runner.run(points)
+            try:
+                on_chunk(index, outcomes, stats)
+            except StopExecution:
+                return self._info(stopped=True)
+        return self._info()
+
+
+# ---------------------------------------------------------------------------
+# crash-tolerant process pool
+# ---------------------------------------------------------------------------
+
+
+class ProcessPoolExecutor(Executor):
+    """``concurrent.futures`` pool with re-dispatch, quarantine, degradation.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.
+    quarantine_after:
+        A chunk suspected in this many worker crashes is pulled out of the
+        pool and finished via isolated prefix replay (one disposable
+        process per point) so a poison point is *recorded*, never retried
+        forever and never silently dropped.
+    degrade_after:
+        After this many pool breakages the remaining chunks run serially
+        in-process — the graceful-degradation floor when workers keep
+        dying for reasons no single chunk explains (OOM storms, cgroup
+        kills).
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        workers: int,
+        quarantine_after: int = 2,
+        degrade_after: int = 4,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.quarantine_after = quarantine_after
+        self.degrade_after = degrade_after
+
+    def run(self, jobs, runner, on_chunk):
+        pending: dict[int, tuple[SweepPoint, ...]] = dict(jobs)
+        crashes: dict[int, int] = {}
+        quarantined: list[dict[str, Any]] = []
+        pool_breaks = 0
+        while pending:
+            if pool_breaks >= self.degrade_after:
+                # workers keep dying wholesale: stop burning processes and
+                # finish the remainder in this process, serially
+                for index in sorted(pending):
+                    outcomes, stats = runner.run(pending.pop(index))
+                    try:
+                        on_chunk(index, outcomes, stats)
+                    except StopExecution:
+                        return self._info(
+                            degraded=True, worker_restarts=pool_breaks,
+                            quarantined=quarantined, stopped=True,
+                            effective_workers=min(self.workers, len(jobs)),
+                        )
+                break
+            # chunks implicated in enough crashes leave the pool for good
+            for index in [
+                i for i in sorted(pending)
+                if crashes.get(i, 0) >= self.quarantine_after
+            ]:
+                points = pending.pop(index)
+                outcomes, stats, poisoned = _replay_chunk_isolated(
+                    runner, points, crashes[index]
+                )
+                quarantined.extend(
+                    {"id": pid, "chunk": index, "failures": crashes[index],
+                     "error": err}
+                    for pid, err in poisoned
+                )
+                try:
+                    on_chunk(index, outcomes, stats)
+                except StopExecution:
+                    return self._info(
+                        worker_restarts=pool_breaks, quarantined=quarantined,
+                        stopped=True,
+                        effective_workers=min(self.workers, len(jobs)),
+                    )
+            if not pending:
+                break
+            broke = False
+            with futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+                submitted = {
+                    pool.submit(_run_chunk_job, runner, index, points): index
+                    for index, points in sorted(pending.items())
+                }
+                try:
+                    for future in futures.as_completed(submitted):
+                        index, outcomes, stats = future.result()
+                        pending.pop(index, None)
+                        try:
+                            on_chunk(index, outcomes, stats)
+                        except StopExecution:
+                            for f in submitted:
+                                f.cancel()
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            return self._info(
+                                worker_restarts=pool_breaks,
+                                quarantined=quarantined, stopped=True,
+                                effective_workers=min(self.workers, len(jobs)),
+                            )
+                except BrokenProcessPool:
+                    # a worker died (SIGKILL, OOM, segfault).  Salvage every
+                    # future that finished before the break — their results
+                    # are intact — then re-dispatch the rest as crash
+                    # suspects.
+                    broke = True
+                    for future, index in submitted.items():
+                        if (
+                            index in pending
+                            and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None
+                        ):
+                            _, outcomes, stats = future.result()
+                            pending.pop(index, None)
+                            try:
+                                on_chunk(index, outcomes, stats)
+                            except StopExecution:
+                                return self._info(
+                                    worker_restarts=pool_breaks + 1,
+                                    quarantined=quarantined, stopped=True,
+                                    effective_workers=min(
+                                        self.workers, len(jobs)
+                                    ),
+                                )
+            if broke:
+                pool_breaks += 1
+                for index in pending:
+                    crashes[index] = crashes.get(index, 0) + 1
+        return self._info(
+            effective_workers=min(self.workers, max(1, len(jobs))),
+            degraded=pool_breaks >= self.degrade_after,
+            worker_restarts=pool_breaks,
+            quarantined=quarantined,
+        )
+
+
+def _replay_chunk_isolated(
+    runner: ChunkRunner,
+    points: tuple[SweepPoint, ...],
+    failures: int,
+) -> tuple[list[PointOutcome], dict[str, Any], list[tuple[str, str]]]:
+    """Finish a poison-suspect chunk one point at a time, each isolated.
+
+    For point *i* a fresh single-worker pool replays the chunk *prefix*
+    ``[0..i]`` (minus already-quarantined points) so the chunk-local cache
+    history each survivor sees matches what a serial run of the survivors
+    would build, then keeps only outcome *i*.  A prefix whose process dies
+    identifies point *i* as the poison: it is recorded as a quarantined
+    outcome — attributed, never silently dropped — and skipped from later
+    prefixes (a run containing it could never complete on any backend).
+    """
+    outcomes: list[PointOutcome] = []
+    poisoned: list[tuple[str, str]] = []
+    stats: dict[str, Any] = {}
+    alive: list[SweepPoint] = []
+    for point in points:
+        prefix = tuple(alive) + (point,)
+        error: str | None = None
+        with futures.ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_run_chunk_job, runner, 0, prefix)
+            budget = None
+            if runner.timeout is not None:
+                # the in-worker guard should fire first; this is the belt
+                # for points that wedge a worker so hard signals never land
+                budget = (runner.timeout + 5.0) * len(prefix)
+            try:
+                _, prefix_outcomes, stats = future.result(timeout=budget)
+                outcomes.append(prefix_outcomes[-1])
+                alive.append(point)
+                continue
+            except BrokenProcessPool:
+                error = (
+                    f"quarantined: point crashed its worker (chunk implicated "
+                    f"in {failures} worker death(s), confirmed in isolation)"
+                )
+            except futures.TimeoutError:
+                for proc in getattr(pool, "_processes", {}).values():
+                    proc.kill()
+                error = (
+                    "quarantined: point wedged an isolated worker past "
+                    f"{budget}s (timeout mechanism never fired)"
+                )
+        poisoned.append((point.id, error))
+        outcomes.append(PointOutcome(
+            id=point.id, params=dict(point.params), seed=point.seed,
+            value=None, error=error, attempts=failures,
+        ))
+    return outcomes, stats, poisoned
+
+
+# ---------------------------------------------------------------------------
+# spawn-safe file-protocol work queue
+# ---------------------------------------------------------------------------
+
+#: queue sub-directories; a chunk lives in exactly one of tasks/claims at a
+#: time (moved by atomic rename), results/ is append-only commit space
+_TASKS, _CLAIMS, _RESULTS = "tasks", "claims", "results"
+_STOP_SENTINEL = "stop"
+_RUNNER_FILE = "runner.pkl"
+#: present only when a ChaosMonkey is armed: workers hold this many seconds
+#: between claiming a chunk and executing it, guaranteeing the parent
+#: observes the claim and can strike mid-chunk deterministically
+_CHAOS_HOLD_FILE = "chaos-hold"
+
+
+def _chunk_name(index: int) -> str:
+    return f"chunk-{index:05d}.pkl"
+
+
+def _chunk_index(name: str) -> int:
+    return int(name.split("-")[1].split(".")[0])
+
+
+class WorkQueueExecutor(Executor):
+    """Multi-process work queue over an atomic-rename file protocol.
+
+    Spawn-safe by construction: workers are independent interpreter
+    processes started with ``subprocess`` (no inherited locks, no fork
+    hazards) that speak to the parent exclusively through files —
+    ``os.rename`` is the commit primitive for both claiming work and
+    publishing results, so a SIGKILL at any instant leaves the queue in a
+    state the parent provably recovers from.
+
+    Parameters
+    ----------
+    workers: worker processes to keep alive.
+    lease_s: a claim older than this is a stalled worker; the parent
+        SIGKILLs it and re-queues the chunk.
+    max_restarts: total replacement workers the parent may spawn before
+        declaring the fleet unsustainable and degrading to serial.
+    quarantine_after: per-chunk worker-death count that triggers isolated
+        prefix replay (same policy as the pool backend).
+    poll_s: parent poll interval.
+    chaos: optional :class:`repro.exp.chaos.ChaosMonkey` consulted when a
+        claim is first observed — test-only fault injection, never armed
+        in production runs.
+    """
+
+    name = "work-queue"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        lease_s: float = 30.0,
+        max_restarts: int = 4,
+        quarantine_after: int = 2,
+        poll_s: float = 0.02,
+        directory: str | Path | None = None,
+        chaos: Any = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.lease_s = lease_s
+        self.max_restarts = max_restarts
+        self.quarantine_after = quarantine_after
+        self.poll_s = poll_s
+        self.directory = Path(directory) if directory is not None else None
+        self.chaos = chaos
+
+    # -- protocol helpers (parent side) ------------------------------------
+
+    def _setup(self, root: Path, jobs: list[Job], runner: ChunkRunner) -> None:
+        for sub in (_TASKS, _CLAIMS, _RESULTS):
+            (root / sub).mkdir(parents=True, exist_ok=True)
+        with (root / _RUNNER_FILE).open("wb") as fh:
+            pickle.dump(runner, fh)
+        if self.chaos is not None:
+            (root / _CHAOS_HOLD_FILE).write_text(str(max(0.25, 10 * self.poll_s)))
+        for index, points in jobs:
+            target = root / _TASKS / _chunk_name(index)
+            tmp = target.with_suffix(".tmp")
+            with tmp.open("wb") as fh:
+                pickle.dump(points, fh)
+            os.replace(tmp, target)
+
+    def _spawn_worker(self, root: Path) -> subprocess.Popen:
+        # workers must be able to import repro from a bare interpreter:
+        # prepend this package's root to PYTHONPATH (spawn-safe, no fork)
+        pkg_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            pkg_root + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else pkg_root
+        )
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.exp.worker", str(root)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def run(self, jobs, runner, on_chunk):
+        owned_dir = self.directory is None
+        root = Path(mkdtemp(prefix="repro-queue-")) if owned_dir else self.directory
+        try:
+            return self._run(root, jobs, runner, on_chunk)
+        finally:
+            if owned_dir:
+                import shutil
+
+                shutil.rmtree(root, ignore_errors=True)
+
+    def _run(self, root: Path, jobs, runner, on_chunk):
+        self._setup(root, jobs, runner)
+        by_index = dict(jobs)
+        pending = set(by_index)
+        crashes: dict[int, int] = {}
+        quarantined: list[dict[str, Any]] = []
+        restarts = 0
+        degraded = False
+        stopped = False
+        procs = [self._spawn_worker(root) for _ in range(self.workers)]
+        claim_seen: dict[int, float] = {}
+        chaos_done: set[int] = set()
+        stalled: dict[int, float] = {}  # pid -> resume_at (monotonic)
+        try:
+            while pending and not stopped:
+                progressed = False
+                # 1. results commit first: a dead worker that already
+                # published its chunk still counts, its claim is garbage
+                for name in sorted(os.listdir(root / _RESULTS)):
+                    if not name.endswith(".pkl"):
+                        continue
+                    index = _chunk_index(name)
+                    if index not in pending:
+                        continue
+                    with (root / _RESULTS / name).open("rb") as fh:
+                        outcomes, stats = pickle.load(fh)
+                    pending.discard(index)
+                    claim_seen.pop(index, None)
+                    progressed = True
+                    try:
+                        on_chunk(index, outcomes, stats)
+                    except StopExecution:
+                        stopped = True
+                        break
+                if stopped:
+                    break
+                now = time.monotonic()
+                # 2. resume chaos-stalled workers whose nap is over
+                for pid in [p for p, t in stalled.items() if now >= t]:
+                    stalled.pop(pid)
+                    _signal_quietly(pid, signal.SIGCONT)
+                # 3. observe claims: lease enforcement + chaos injection
+                claims = self._read_claims(root)
+                for index, (pid, _claimed_at) in claims.items():
+                    if index not in pending:
+                        continue  # result already committed; claim is litter
+                    if index not in claim_seen:
+                        claim_seen[index] = now
+                        if self.chaos is not None and index not in chaos_done:
+                            chaos_done.add(index)
+                            nap = self.chaos.strike(index, pid)
+                            if nap:
+                                stalled[pid] = now + nap
+                    elif now - claim_seen[index] > self.lease_s:
+                        # stalled worker: kill it; reap-and-requeue below
+                        _signal_quietly(pid, signal.SIGKILL)
+                        claim_seen.pop(index, None)
+                # a claim whose owner file never appeared is a worker that
+                # died between the rename and the owner write: requeue it
+                # once it has clearly outlived that microscopic window
+                for index in self._orphan_claims(root, claims):
+                    if index not in pending:
+                        continue
+                    first = claim_seen.setdefault(index, now)
+                    if now - first > self.lease_s:
+                        self._requeue(root, index)
+                        claim_seen.pop(index, None)
+                        crashes[index] = crashes.get(index, 0) + 1
+                # 4. reap dead workers, requeue their claims, respawn
+                live: list[subprocess.Popen] = []
+                for proc in procs:
+                    if proc.poll() is None:
+                        live.append(proc)
+                        continue
+                    for index, (pid, _t) in self._read_claims(root).items():
+                        if pid == proc.pid:
+                            self._requeue(root, index)
+                            claim_seen.pop(index, None)
+                            crashes[index] = crashes.get(index, 0) + 1
+                    if restarts < self.max_restarts:
+                        restarts += 1
+                        live.append(self._spawn_worker(root))
+                procs = live
+                # 5. quarantine chunks that keep killing workers
+                for index in [
+                    i for i in sorted(pending)
+                    if crashes.get(i, 0) >= self.quarantine_after
+                ]:
+                    self._steal_task(root, index)
+                    outcomes, stats, poisoned = _replay_chunk_isolated(
+                        runner, by_index[index], crashes[index]
+                    )
+                    quarantined.extend(
+                        {"id": pid_, "chunk": index,
+                         "failures": crashes[index], "error": err}
+                        for pid_, err in poisoned
+                    )
+                    pending.discard(index)
+                    progressed = True
+                    try:
+                        on_chunk(index, outcomes, stats)
+                    except StopExecution:
+                        stopped = True
+                        break
+                if stopped:
+                    break
+                # 6. no workers left and no restart budget: degrade
+                if pending and not procs:
+                    degraded = True
+                    for index in sorted(pending):
+                        self._steal_task(root, index)
+                        outcomes, stats = runner.run(by_index[index])
+                        pending.discard(index)
+                        try:
+                            on_chunk(index, outcomes, stats)
+                        except StopExecution:
+                            stopped = True
+                            break
+                    break
+                if not progressed:
+                    time.sleep(self.poll_s)
+        finally:
+            (root / _STOP_SENTINEL).touch()
+            for pid in stalled:
+                _signal_quietly(pid, signal.SIGCONT)
+            for proc in procs:
+                if proc.poll() is None:
+                    try:
+                        proc.wait(timeout=2.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+        return self._info(
+            effective_workers=min(self.workers, max(1, len(jobs))),
+            degraded=degraded,
+            worker_restarts=restarts,
+            quarantined=quarantined,
+            stopped=stopped,
+        )
+
+    def _orphan_claims(
+        self, root: Path, claims: dict[int, tuple[int, float]]
+    ) -> list[int]:
+        """Claim files present with no readable owner sidecar."""
+        orphans = []
+        for name in os.listdir(root / _CLAIMS):
+            if name.endswith(".pkl"):
+                index = _chunk_index(name)
+                if index not in claims:
+                    orphans.append(index)
+        return orphans
+
+    def _read_claims(self, root: Path) -> dict[int, tuple[int, float]]:
+        """Claims as ``{chunk_index: (pid, claimed_at)}`` (tolerant scan)."""
+        claims: dict[int, tuple[int, float]] = {}
+        for name in os.listdir(root / _CLAIMS):
+            if not name.endswith(".owner"):
+                continue
+            try:
+                with (root / _CLAIMS / name).open("r") as fh:
+                    owner = fh.read().split()
+                claims[_chunk_index(name)] = (int(owner[0]), float(owner[1]))
+            except (OSError, ValueError, IndexError):
+                continue  # worker mid-write or just died; next poll settles it
+        return claims
+
+    def _requeue(self, root: Path, index: int) -> None:
+        """Move a dead worker's claim back into the task queue (atomic)."""
+        name = _chunk_name(index)
+        try:
+            os.rename(root / _CLAIMS / name, root / _TASKS / name)
+        except OSError:
+            return  # result already committed or another pass re-queued it
+        _unlink_quietly(root / _CLAIMS / (name + ".owner"))
+
+    def _steal_task(self, root: Path, index: int) -> None:
+        """Pull a chunk out of the queue so no worker picks it up again."""
+        name = _chunk_name(index)
+        _unlink_quietly(root / _TASKS / name)
+        _unlink_quietly(root / _CLAIMS / name)
+        _unlink_quietly(root / _CLAIMS / (name + ".owner"))
+
+
+def _signal_quietly(pid: int, sig: int) -> None:
+    try:
+        os.kill(pid, sig)
+    except (ProcessLookupError, PermissionError):
+        pass
+
+
+def _unlink_quietly(path: Path) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

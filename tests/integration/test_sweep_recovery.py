@@ -1,0 +1,218 @@
+"""Crash recovery end-to-end: killed workers, chaos sweeps, interrupt/resume.
+
+These tests actually kill processes.  The invariants under test:
+
+* a SIGKILLed worker never loses or duplicates a point — the chunk is
+  re-dispatched and the merged digest matches an undisturbed serial run;
+* a chaos-disturbed work-queue sweep (seeded kills and stalls mid-chunk)
+  converges to the bit-identical serial result;
+* a sweep interrupted mid-run resumes from its journal and finishes
+  bit-identical to a never-interrupted run;
+* a point that deterministically kills every worker that touches it is
+  quarantined — recorded in the result, never silently dropped, and never
+  allowed to sink the rest of the sweep.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.exp import (
+    ChaosEvent,
+    ChaosPlan,
+    Sweep,
+    SweepInterrupted,
+    run_chaos_sweep,
+    run_sweep,
+)
+
+KILL_POINT = 2  # the "x" value whose task misbehaves in crashy sweeps
+
+
+def plain_task(params, ctx):
+    return {"y": params["x"] * 10 + 1, "seed": ctx.seed}
+
+
+def suicide_once_task(params, ctx):
+    """Kill the evaluating process the first time the hot point runs.
+
+    The sentinel file marks "the crash already happened", so the
+    re-dispatched twin (and the serial baseline, which pre-creates it)
+    completes normally.  SIGKILL is deliberate: no atexit, no cleanup —
+    the worst-case worker death.
+    """
+    if params["x"] == KILL_POINT and params["sentinel"]:
+        try:
+            with open(params["sentinel"], "x"):
+                pass
+        except FileExistsError:
+            pass
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return {"y": params["x"] * 10 + 1, "seed": ctx.seed}
+
+
+def poison_task(params, ctx):
+    """Kill *every* process that evaluates the hot point — unrecoverable."""
+    if params["x"] == KILL_POINT:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"y": params["x"], "seed": ctx.seed}
+
+
+def crashy_sweep(sentinel, n=6, name="recovery"):
+    points = [{"x": i, "sentinel": str(sentinel)} for i in range(n)]
+    return Sweep(name, suicide_once_task, points, seed=5)
+
+
+def assert_no_lost_or_duplicated(result, sweep):
+    ids = [o.id for o in result.outcomes]
+    assert ids == [p.id for p in sweep.points]
+    assert len(set(ids)) == len(ids)
+
+
+def test_pool_survives_sigkilled_worker_mid_chunk(tmp_path):
+    sentinel = tmp_path / "crashed"
+    sweep = crashy_sweep(sentinel)
+
+    # serial baseline with the crash "already spent"
+    sentinel.touch()
+    baseline = run_sweep(sweep, workers=1)
+    sentinel.unlink()
+
+    result = run_sweep(sweep, workers=2, executor="pool")
+    assert sentinel.exists(), "the crash never fired"
+    assert result.mode == "process-pool"
+    assert_no_lost_or_duplicated(result, sweep)
+    assert result.digest() == baseline.digest()
+    assert result.payload() == baseline.payload()
+    assert result.quarantined == []
+
+
+def test_queue_survives_sigkilled_worker_mid_chunk(tmp_path):
+    sentinel = tmp_path / "crashed"
+    sweep = crashy_sweep(sentinel)
+
+    sentinel.touch()
+    baseline = run_sweep(sweep, workers=1)
+    sentinel.unlink()
+
+    result = run_sweep(sweep, workers=2, executor="queue")
+    assert sentinel.exists(), "the crash never fired"
+    assert result.mode == "work-queue"
+    assert result.worker_restarts >= 1
+    assert_no_lost_or_duplicated(result, sweep)
+    assert result.digest() == baseline.digest()
+
+
+def test_chaos_sweep_matches_undisturbed_serial_run():
+    sweep = Sweep(
+        "chaos_eq", plain_task, [{"x": i} for i in range(10)], seed=9
+    )
+    baseline = run_sweep(sweep, workers=1, chunk_size=2)
+    plan = ChaosPlan(
+        seed=7,
+        events=(
+            ChaosEvent(chunk=1, action="kill"),
+            ChaosEvent(chunk=3, action="stall", stall_s=0.3),
+        ),
+    )
+    result, monkey = run_chaos_sweep(sweep, plan, workers=2, chunk_size=2)
+    assert monkey.log, "chaos plan never struck"
+    assert {entry["action"] for entry in monkey.log} == {"kill", "stall"}
+    assert_no_lost_or_duplicated(result, sweep)
+    assert result.digest() == baseline.digest()
+    assert result.payload() == baseline.payload()
+    assert result.quarantined == []
+
+
+def test_chaos_kill_with_store_then_resume(tmp_path):
+    """Chaos + durability: kill workers, then resume from the journal."""
+    sweep = Sweep(
+        "chaos_store", plain_task, [{"x": i} for i in range(8)], seed=2
+    )
+    baseline = run_sweep(sweep, workers=1, chunk_size=2)
+    plan = ChaosPlan(seed=3, events=(ChaosEvent(chunk=0, action="kill"),))
+    disturbed, monkey = run_chaos_sweep(
+        sweep, plan, workers=2, chunk_size=2, store=tmp_path
+    )
+    assert monkey.log
+    assert disturbed.digest() == baseline.digest()
+    # everything is journaled: a rerun is a pure replay, still bit-identical
+    replay = run_sweep(
+        sweep, workers=1, chunk_size=2, store=tmp_path, resume=True
+    )
+    assert replay.resumed_chunks == replay.chunk_count == 4
+    assert replay.digest() == baseline.digest()
+
+
+def test_interrupted_pool_run_resumes_bit_identically(tmp_path):
+    sweep = Sweep(
+        "resume_pool", plain_task, [{"x": i} for i in range(12)], seed=4
+    )
+    baseline = run_sweep(sweep, workers=1, chunk_size=3)
+    with pytest.raises(SweepInterrupted) as err:
+        run_sweep(
+            sweep,
+            workers=2,
+            executor="pool",
+            chunk_size=3,
+            store=tmp_path,
+            interrupt_after=2,
+        )
+    assert err.value.completed_chunks >= 2
+    resumed = run_sweep(
+        sweep,
+        workers=2,
+        executor="pool",
+        chunk_size=3,
+        store=tmp_path,
+        resume=True,
+    )
+    assert resumed.resumed_chunks >= 2
+    assert_no_lost_or_duplicated(resumed, sweep)
+    assert resumed.digest() == baseline.digest()
+    assert resumed.payload() == baseline.payload()
+
+
+def test_poison_point_is_quarantined_not_dropped():
+    sweep = Sweep(
+        "poison", poison_task, [{"x": i} for i in range(6)], seed=8
+    )
+    result = run_sweep(sweep, workers=2, executor="pool", chunk_size=2)
+    assert_no_lost_or_duplicated(result, sweep)
+    quarantined = [o for o in result.outcomes if o.quarantined]
+    assert [o.id for o in quarantined] == [f"x={KILL_POINT}"]
+    assert quarantined[0].error
+    healthy = [o for o in result.outcomes if not o.quarantined]
+    assert all(o.ok for o in healthy) and len(healthy) == 5
+    # quarantine is surfaced in the report, not buried
+    report = result.to_report()
+    (entry,) = report["execution"]["quarantined"]
+    assert entry["id"] == f"x={KILL_POINT}"
+    assert entry["failures"] >= 2
+    assert "quarantined" in entry["error"]
+    assert result.failed == quarantined
+
+
+@pytest.mark.skipif(
+    os.environ.get("SWEEP_CHAOS_SMOKE") != "1",
+    reason="long randomized chaos smoke; set SWEEP_CHAOS_SMOKE=1 to run",
+)
+def test_chaos_smoke_randomized_plans():
+    """Heavier randomized chaos battery for CI's opt-in smoke job."""
+    sweep = Sweep(
+        "chaos_smoke", plain_task, [{"x": i} for i in range(16)], seed=21
+    )
+    baseline = run_sweep(sweep, workers=1, chunk_size=2)
+    for seed in range(3):
+        plan = ChaosPlan.random(
+            seed=seed, chunk_count=8, kill_rate=0.4, stall_rate=0.25
+        )
+        result, monkey = run_chaos_sweep(
+            sweep, plan, workers=2, chunk_size=2
+        )
+        assert_no_lost_or_duplicated(result, sweep)
+        assert result.digest() == baseline.digest(), (
+            f"chaos seed {seed} diverged (struck: {monkey.log})"
+        )

@@ -86,3 +86,54 @@ def test_task_receives_derived_seed(axes, seed):
     result = run_sweep(sweep, workers=1)
     for outcome in result.outcomes:
         assert outcome.value["seed"] == point_seed(seed, "prop_seeds", outcome.id)
+
+
+@settings(max_examples=3, deadline=None)
+@given(
+    axes=grids,
+    seed=st.integers(0, 2**16),
+    chunk_size=st.integers(1, 4),
+    stop_after=st.integers(1, 3),
+)
+def test_serial_pool_and_resumed_runs_coincide(
+    axes, seed, chunk_size, stop_after
+):
+    """serial ≡ pool ≡ interrupted-then-resumed, for arbitrary grids.
+
+    The crash/resume history is part of the quantifier: we interrupt a
+    stored run after ``stop_after`` chunks and resume it, and the result
+    must still be byte-identical to both the serial and the pooled run.
+    """
+    import tempfile
+
+    from repro.exp import SweepInterrupted
+
+    sweep = Sweep.grid("prop_resume", arith_task, axes=axes, seed=seed)
+    serial = run_sweep(sweep, workers=1, chunk_size=chunk_size)
+    pooled = run_sweep(sweep, workers=2, chunk_size=chunk_size)
+    assert pooled.digest() == serial.digest()
+    assert pooled.payload() == serial.payload()
+
+    with tempfile.TemporaryDirectory() as store:
+        try:
+            run_sweep(
+                sweep,
+                workers=1,
+                chunk_size=chunk_size,
+                store=store,
+                interrupt_after=stop_after,
+            )
+            interrupted = False  # fewer chunks than stop_after: ran through
+        except SweepInterrupted:
+            interrupted = True
+        resumed = run_sweep(
+            sweep,
+            workers=1,
+            chunk_size=chunk_size,
+            store=store,
+            resume=interrupted,
+        )
+        if interrupted:
+            assert resumed.resumed_chunks >= stop_after
+        assert resumed.digest() == serial.digest()
+        assert resumed.payload() == serial.payload()

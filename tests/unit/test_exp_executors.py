@@ -1,0 +1,126 @@
+"""Executor backends: shared contract, digest equality, stop semantics."""
+
+import pytest
+
+from repro.exp import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    Sweep,
+    WorkQueueExecutor,
+    resolve_executor,
+    run_sweep,
+)
+from repro.exp.executors import StopExecution
+from repro.exp.runner import ChunkRunner
+
+
+def square_task(params, ctx):
+    return {"y": params["x"] ** 2, "seed": ctx.seed}
+
+
+def make_sweep(n=6):
+    return Sweep("backends", square_task, [{"x": i} for i in range(n)], seed=11)
+
+
+def make_jobs(sweep, size=2):
+    pts = sweep.points
+    return [
+        (i, tuple(pts[lo : lo + size]))
+        for i, lo in enumerate(range(0, len(pts), size))
+    ]
+
+
+# -- resolve_executor ---------------------------------------------------------
+
+def test_resolver_defaults_to_serial_for_one_worker():
+    assert isinstance(resolve_executor(None, 1), SerialExecutor)
+
+
+def test_resolver_defaults_to_pool_for_many_workers():
+    backend = resolve_executor(None, 3)
+    assert isinstance(backend, ProcessPoolExecutor)
+    assert backend.workers == 3
+
+
+def test_resolver_maps_names_and_passes_instances_through():
+    assert isinstance(resolve_executor("serial", 4), SerialExecutor)
+    assert isinstance(resolve_executor("pool", 1), ProcessPoolExecutor)
+    assert isinstance(resolve_executor("queue", 1), WorkQueueExecutor)
+    mine = SerialExecutor()
+    assert resolve_executor(mine, 8) is mine
+
+
+def test_resolver_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown executor"):
+        resolve_executor("threads", 2)
+
+
+# -- shared contract ----------------------------------------------------------
+
+def collect(backend, sweep, **runner_kwargs):
+    runner = ChunkRunner(task=sweep.task, **runner_kwargs)
+    landed = {}
+
+    def on_chunk(index, outcomes, stats):
+        assert index not in landed, "chunk delivered twice"
+        landed[index] = outcomes
+
+    info = backend.run(make_jobs(sweep), runner, on_chunk)
+    return landed, info
+
+
+def test_serial_runs_chunks_in_order():
+    sweep = make_sweep()
+    landed, info = collect(SerialExecutor(), sweep)
+    assert sorted(landed) == [0, 1, 2]
+    assert info["mode"] == "serial"
+    assert not info["degraded"] and not info["stopped"]
+    assert [o.id for o in landed[0]] == ["x=0", "x=1"]
+
+
+@pytest.mark.parametrize(
+    "backend_name,backend",
+    [
+        ("pool", ProcessPoolExecutor(workers=2)),
+        ("queue", WorkQueueExecutor(workers=2, poll_s=0.01)),
+    ],
+)
+def test_parallel_backends_match_serial_exactly(backend_name, backend):
+    sweep = make_sweep()
+    serial_landed, _ = collect(SerialExecutor(), sweep)
+    landed, info = collect(backend, sweep)
+    expected_mode = {"pool": "process-pool", "queue": "work-queue"}[backend_name]
+    assert info["mode"] == expected_mode
+    assert sorted(landed) == sorted(serial_landed)
+    for index in serial_landed:
+        assert [o.payload() for o in landed[index]] == [
+            o.payload() for o in serial_landed[index]
+        ]
+    assert info["quarantined"] == []
+
+
+def test_stop_execution_halts_serial_backend():
+    sweep = make_sweep()
+    seen = []
+
+    def on_chunk(index, outcomes, stats):
+        seen.append(index)
+        raise StopExecution()
+
+    info = SerialExecutor().run(
+        make_jobs(sweep), ChunkRunner(task=sweep.task), on_chunk
+    )
+    assert seen == [0]
+    assert info["stopped"] is True
+
+
+def test_engine_maps_executor_names_to_modes():
+    sweep = make_sweep(4)
+    serial = run_sweep(sweep, workers=1)
+    assert serial.mode == "serial"
+    pooled = run_sweep(sweep, workers=2, executor="pool")
+    assert pooled.mode == "process-pool"
+    assert pooled.digest() == serial.digest()
+    queued = run_sweep(sweep, workers=2, executor="queue")
+    assert queued.mode == "work-queue"
+    assert queued.digest() == serial.digest()

@@ -1,0 +1,226 @@
+"""ResultStore: journaling, resume semantics, crash tolerance, identity."""
+
+import json
+
+import pytest
+
+from repro.core.config_io import (
+    JournalError,
+    dump_journal_entry,
+    make_journal_entry,
+    parse_journal_entry,
+)
+from repro.exp import (
+    ResultStore,
+    StoreMismatch,
+    Sweep,
+    SweepInterrupted,
+    point_key,
+    run_sweep,
+    sweep_fingerprint,
+)
+from repro.exp.runner import PointOutcome
+
+
+def echo_task(params, ctx):
+    return {"params": dict(params), "seed": ctx.seed}
+
+
+def other_task(params, ctx):
+    return {"v": 0}
+
+
+def make_sweep(name="stored", n=6, seed=3):
+    return Sweep(name, echo_task, [{"a": i} for i in range(n)], seed=seed)
+
+
+def outcome(i):
+    return PointOutcome(id=f"p{i}", params={"a": i}, seed=i, value={"a": i})
+
+
+# -- journal envelope ---------------------------------------------------------
+
+def test_journal_entry_round_trips():
+    entry = make_journal_entry("chunk", {"chunk": 3, "points": 4, "stats": {}})
+    line = dump_journal_entry(entry)
+    assert "\n" not in line
+    assert parse_journal_entry(line) == entry
+
+
+def test_journal_entry_rejects_unknown_kind():
+    with pytest.raises(JournalError, match="unknown journal kind"):
+        make_journal_entry("nope", {})
+
+
+def test_journal_entry_rejects_envelope_shadowing():
+    with pytest.raises(JournalError, match="shadows envelope"):
+        make_journal_entry("meta", {"schema": "x"})
+
+
+def test_parse_rejects_garbage_line():
+    with pytest.raises(JournalError, match="invalid journal line"):
+        parse_journal_entry("{not json")
+
+
+def test_parse_rejects_wrong_version():
+    entry = make_journal_entry("meta", {"name": "s"})
+    entry["version"] = 99
+    with pytest.raises(JournalError, match="unsupported journal version"):
+        parse_journal_entry(json.dumps(entry))
+
+
+# -- identity -----------------------------------------------------------------
+
+def test_fingerprint_pins_every_outcome_affecting_knob():
+    sweep = make_sweep()
+    base = sweep_fingerprint(sweep, 4, 0, None, True)
+    assert base == sweep_fingerprint(make_sweep(), 4, 0, None, True)
+    assert base != sweep_fingerprint(sweep, 2, 0, None, True)      # chunking
+    assert base != sweep_fingerprint(sweep, 4, 1, None, True)      # retries
+    assert base != sweep_fingerprint(sweep, 4, 0, 5.0, True)       # timeout
+    assert base != sweep_fingerprint(sweep, 4, 0, None, False)     # cache
+    assert base != sweep_fingerprint(make_sweep(seed=4), 4, 0, None, True)
+    assert base != sweep_fingerprint(make_sweep(n=5), 4, 0, None, True)
+    assert base != sweep_fingerprint(
+        Sweep("stored", other_task, [{"a": 0}]), 4, 0, None, True
+    )
+
+
+def test_point_key_is_content_addressed():
+    a = point_key("spec", 0, 1, "p1", 42)
+    assert a == point_key("spec", 0, 1, "p1", 42)
+    assert a != point_key("spec2", 0, 1, "p1", 42)
+    assert a != point_key("spec", 1, 1, "p1", 42)
+    assert a != point_key("spec", 0, 1, "p1", 43)
+
+
+# -- begin / record / replay --------------------------------------------------
+
+def test_fresh_store_then_full_replay(tmp_path):
+    store = ResultStore(tmp_path)
+    session = store.begin("s", "spec1", chunk_count=2)
+    assert session.completed == {}
+    session.record_chunk(0, [outcome(0), outcome(1)], {"lookups": 2})
+    session.record_chunk(1, [outcome(2)], {"lookups": 1})
+    session.close()
+
+    again = store.begin("s", "spec1", chunk_count=2, resume=True)
+    assert sorted(again.completed) == [0, 1]
+    outs, stats = again.completed[0]
+    assert [o.id for o in outs] == ["p0", "p1"]
+    assert outs[0].payload() == outcome(0).payload()
+    assert stats == {"lookups": 2}
+    assert again.hits == 3
+    again.close()
+
+
+def test_record_chunk_is_idempotent(tmp_path):
+    store = ResultStore(tmp_path)
+    session = store.begin("s", "spec1", chunk_count=1)
+    session.record_chunk(0, [outcome(0)], {})
+    session.close()
+    session = store.begin("s", "spec1", chunk_count=1)
+    # a re-dispatched twin landing again must not duplicate journal entries
+    session.record_chunk(0, [outcome(0)], {})
+    session.close()
+    lines = store.journal_path("s").read_text().splitlines()
+    assert sum(1 for ln in lines if '"kind":"chunk"' in ln) == 1
+
+
+def test_resume_without_journal_is_an_error(tmp_path):
+    with pytest.raises(StoreMismatch, match="cannot resume"):
+        ResultStore(tmp_path).begin("s", "spec1", chunk_count=1, resume=True)
+
+
+def test_resume_against_mismatched_spec_is_an_error(tmp_path):
+    store = ResultStore(tmp_path)
+    store.begin("s", "spec1", chunk_count=1).close()
+    with pytest.raises(StoreMismatch, match="different sweep spec"):
+        store.begin("s", "spec2", chunk_count=1, resume=True)
+
+
+def test_mismatched_journal_is_rotated_not_destroyed(tmp_path):
+    store = ResultStore(tmp_path)
+    session = store.begin("s", "spec1", chunk_count=1)
+    session.record_chunk(0, [outcome(0)], {})
+    session.close()
+    fresh = store.begin("s", "spec2", chunk_count=1)
+    assert fresh.completed == {}
+    fresh.close()
+    backups = list(tmp_path.glob("s.journal.jsonl.bak*"))
+    assert len(backups) == 1
+    assert '"kind":"point"' in backups[0].read_text()
+
+
+def test_truncated_tail_line_is_tolerated(tmp_path):
+    store = ResultStore(tmp_path)
+    session = store.begin("s", "spec1", chunk_count=2)
+    session.record_chunk(0, [outcome(0)], {})
+    session.close()
+    path = store.journal_path("s")
+    # simulate a crash mid-append: a ragged, half-written final line
+    with path.open("a") as fh:
+        fh.write('{"schema":"repro.journal","version":1,"kind":"poi')
+    session = store.begin("s", "spec1", chunk_count=2, resume=True)
+    assert sorted(session.completed) == [0]
+    session.close()
+
+
+def test_points_without_chunk_marker_are_not_resumed(tmp_path):
+    """The chunk marker is the commit record — points alone don't count."""
+    store = ResultStore(tmp_path)
+    session = store.begin("s", "spec1", chunk_count=1)
+    # journal a point line but crash before the marker
+    from repro.core.config_io import make_journal_entry as mk
+    session._write(mk("point", {
+        "chunk": 0, "pos": 0, "key": "k",
+        "outcome": outcome(0).payload(), "wall_ms": 0.0,
+    }))
+    session.close()
+    session = store.begin("s", "spec1", chunk_count=1, resume=True)
+    assert session.completed == {}
+    session.close()
+
+
+# -- engine integration -------------------------------------------------------
+
+def test_identical_rerun_is_a_pure_cache_hit(tmp_path):
+    sweep = make_sweep()
+    first = run_sweep(sweep, workers=1, store=tmp_path)
+    assert first.resumed_chunks == 0
+    again = run_sweep(sweep, workers=1, store=tmp_path)
+    assert again.resumed_chunks == again.chunk_count == 2
+    assert again.store_hits == 6
+    assert again.digest() == first.digest()
+    assert again.payload() == first.payload()
+
+
+def test_interrupted_run_resumes_bit_identically(tmp_path):
+    sweep = make_sweep(n=10)
+    baseline = run_sweep(sweep, workers=1)
+    with pytest.raises(SweepInterrupted) as err:
+        run_sweep(sweep, workers=1, store=tmp_path, interrupt_after=1)
+    assert err.value.completed_chunks == 1
+    assert err.value.chunk_count == 3
+    resumed = run_sweep(sweep, workers=1, store=tmp_path, resume=True)
+    assert resumed.resumed_chunks == 1
+    assert resumed.digest() == baseline.digest()
+    assert [o.id for o in resumed.outcomes] == [p.id for p in sweep.points]
+
+
+def test_changed_engine_knobs_invalidate_the_journal(tmp_path):
+    sweep = make_sweep()
+    run_sweep(sweep, workers=1, store=tmp_path)
+    with pytest.raises(StoreMismatch):
+        run_sweep(sweep, workers=1, store=tmp_path, resume=True, retries=1)
+    # without --resume the stale journal rotates and the run starts fresh
+    redo = run_sweep(sweep, workers=1, store=tmp_path, retries=1)
+    assert redo.resumed_chunks == 0
+    assert redo.ok
+
+
+def test_resume_requires_store():
+    from repro.exp import SweepError
+
+    with pytest.raises(SweepError, match="needs a store"):
+        run_sweep(make_sweep(), workers=1, resume=True)

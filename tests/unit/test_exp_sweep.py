@@ -298,3 +298,110 @@ def test_engine_picked_workers_recorded_as_unrequested():
     assert execution["workers"] >= 1
     # effective workers never exceeds the work available
     assert execution["effective_workers"] <= max(1, execution["chunk_count"])
+
+
+# -- portable timeout fallback + retry attribution -------------------------
+
+
+def _flaky_task(params, ctx):
+    """Fails its first ``fail_times`` attempts, then succeeds."""
+    if ctx.attempt < params["fail_times"]:
+        raise RuntimeError(f"transient failure #{ctx.attempt}")
+    return {"ok": True, "seed": ctx.seed}
+
+
+@pytest.mark.timeout(60, method="thread")
+def test_wall_clock_fallback_off_main_thread():
+    """Where SIGALRM is unavailable the watchdog thread enforces the budget."""
+    import threading
+
+    from repro.exp.runner import (
+        TIMEOUT_WALL_CLOCK,
+        PointContext,
+        _PointTimeout,
+        _call_with_timeout,
+    )
+
+    point = SweepPoint(id="p0", params={}, seed=1)
+    box = {}
+
+    def run_off_main():
+        try:
+            _, mechanism = _call_with_timeout(
+                _quick_task, point, PointContext(seed=1), 5.0
+            )
+            box["mechanism"] = mechanism
+            try:
+                _call_with_timeout(
+                    _slow_task, point, PointContext(seed=1), 0.05
+                )
+            except _PointTimeout as err:
+                box["expired"] = err.mechanism
+        except BaseException as exc:  # surfaced below, not swallowed
+            box["error"] = exc
+
+    thread = threading.Thread(target=run_off_main)
+    thread.start()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert "error" not in box, box
+    assert box["mechanism"] == TIMEOUT_WALL_CLOCK
+    assert box["expired"] == TIMEOUT_WALL_CLOCK
+
+
+def test_report_records_timeout_mechanism():
+    sweep = Sweep("timed", _quick_task, [{"x": 0}, {"x": 1}])
+    result = run_sweep(sweep, workers=1, timeout=5.0)
+    timeout = result.to_report()["execution"]["timeout"]
+    assert timeout["limit_s"] == 5.0
+    assert timeout["mechanism"] in ("sigalrm", "wall-clock")
+    # no budget armed -> no mechanism claimed
+    bare = run_sweep(sweep, workers=1)
+    assert bare.to_report()["execution"]["timeout"] == {
+        "limit_s": None,
+        "mechanism": None,
+    }
+
+
+def test_retry_records_decisive_seed_and_attempts():
+    sweep = Sweep(
+        "flaky",
+        _flaky_task,
+        [{"i": 0, "fail_times": 0}, {"i": 1, "fail_times": 2}],
+        seed=6,
+    )
+    result = run_sweep(sweep, workers=1, retries=2)
+    assert result.ok
+    (retried,) = result.retried
+    assert retried.attempts == 3
+    assert retried.retry_seed == retried.seed + 2
+    # the task really ran under the derived seed it reports
+    assert retried.value["seed"] == retried.retry_seed
+    clean = next(o for o in result.outcomes if o is not retried)
+    assert clean.attempts == 1 and clean.retry_seed is None
+    recorded = result.to_report()["execution"]["retried_points"]
+    assert recorded == {
+        retried.id: {"attempts": 3, "retry_seed": retried.retry_seed}
+    }
+
+
+def test_retry_seed_is_part_of_the_digest_deterministically():
+    sweep = Sweep(
+        "flaky_digest", _flaky_task, [{"i": 0, "fail_times": 1}], seed=2
+    )
+    first = run_sweep(sweep, workers=1, retries=1)
+    second = run_sweep(sweep, workers=1, retries=1)
+    assert first.digest() == second.digest()
+    assert first.payload()[0]["retry_seed"] is not None
+
+
+def test_retry_delay_is_seeded_exponential_backoff():
+    from repro.exp import retry_delay
+
+    assert retry_delay(0.0, seed=42, attempt=1) == 0.0
+    first = retry_delay(0.1, seed=42, attempt=1)
+    assert first == retry_delay(0.1, seed=42, attempt=1)
+    assert 0.05 <= first < 0.1
+    second = retry_delay(0.1, seed=42, attempt=2)
+    assert 0.1 <= second < 0.2
+    assert retry_delay(0.1, seed=43, attempt=1) != first
