@@ -478,6 +478,73 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant admission-control service over a JSON config.
+
+    Exit codes follow the ``sweep`` convention: 0 on a clean shutdown
+    (a client's ``shutdown`` op, or a successful ``--smoke`` run), 2 for
+    unusable configuration (unreadable/invalid JSON, infeasible baseline,
+    bad flags), 3 when interrupted (SIGINT) while serving.
+    """
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from .core import ParameterError, load_system
+    from .serve import AdmissionService, serve_forever, smoke_session
+
+    try:
+        text = Path(args.config).read_text()
+    except OSError as exc:
+        print(f"error: cannot read system config {args.config}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        system = load_system(text)
+        service = AdmissionService(
+            system,
+            backend=args.backend,
+            queue_depth=args.queue_depth,
+            solver_timeout=args.solver_timeout,
+        )
+    except ParameterError as exc:
+        print(f"error: invalid system config {args.config}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        ready = asyncio.Event()
+        bound: list = []
+        server = asyncio.ensure_future(serve_forever(
+            service, args.host, args.port, ready=ready, bound=bound,
+        ))
+        try:
+            await ready.wait()
+        except BaseException:
+            server.cancel()
+            raise
+        host, port = bound[0]
+        if not args.smoke:
+            print(f"admission service listening on {host}:{port} "
+                  f"({len(system.streams)} baseline stream(s), "
+                  f"queue depth {args.queue_depth})", flush=True)
+            await server
+            return 0
+        try:
+            summary = await asyncio.to_thread(smoke_session, host, port)
+        finally:
+            service.shutdown_requested.set()
+            await server
+        print(json.dumps(summary, indent=2))
+        return 0 if summary["ok"] else 1
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted while serving", file=sys.stderr)
+        return 3
+
+
 def _add_config_arg(p: argparse.ArgumentParser) -> None:
     """Positional system config + hidden --config/--params spellings."""
     p.add_argument("config", nargs="?", default=None,
@@ -630,6 +697,28 @@ def main(argv: list[str] | None = None) -> int:
                    help="re-run serially and verify the merged results are "
                         "bit-identical")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant admission-control service "
+             "(repro.serve) over a JSON config",
+    )
+    p.add_argument("config", help="path to the baseline system JSON")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral; printed at startup)")
+    p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
+    p.add_argument("--queue-depth", type=int, default=128,
+                   help="bounded admission queue; beyond it requests are "
+                        "rejected 'overloaded'")
+    p.add_argument("--solver-timeout", type=float, default=5.0,
+                   help="seconds before an exact solve counts as a circuit-"
+                        "breaker failure")
+    p.add_argument("--smoke", action="store_true",
+                   help="bind, run the scripted join/overload/leave client "
+                        "against the live server, print the check summary "
+                        "and exit (CI gate)")
+    p.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     if hasattr(args, "config_opt"):

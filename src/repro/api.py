@@ -77,12 +77,24 @@ class Scenario:
     context_mode: str = "software"
 
     # -- builder steps ---------------------------------------------------
+    # every step validates eagerly: a bad value must fail at the call that
+    # introduced it, not surface as a confusing error at build() time
     def with_blocks(self, blocks: int) -> "Scenario":
         """Blocks to complete per stream."""
-        return replace(self, blocks=int(blocks))
+        blocks = int(blocks)
+        if blocks < 1:
+            raise ParameterError(f"blocks must be >= 1, got {blocks}")
+        return replace(self, blocks=blocks)
 
     def with_backend(self, backend: str) -> "Scenario":
         """ILP backend used when block sizes must be solved ('scipy'|'bnb')."""
+        from .ilp import _BACKENDS
+
+        if backend not in _BACKENDS:
+            raise ParameterError(
+                f"unknown ILP backend {backend!r}; choose from "
+                f"{sorted(_BACKENDS)}"
+            )
         return replace(self, backend=backend)
 
     def with_faults(self, plan: FaultPlan) -> "Scenario":
@@ -91,7 +103,10 @@ class Scenario:
 
     def with_spares(self, spares: int) -> "Scenario":
         """Provision dormant cold-spare tiles for tile-failure failover."""
-        return replace(self, spares=int(spares))
+        spares = int(spares)
+        if spares < 0:
+            raise ParameterError(f"spares must be >= 0, got {spares}")
+        return replace(self, spares=spares)
 
     def with_watchdog(self, watchdog: WatchdogConfig | None) -> "Scenario":
         """Override the default calibrated watchdog."""
@@ -105,16 +120,41 @@ class Scenario:
 
     def with_max_cycles(self, max_cycles: int | None) -> "Scenario":
         """Hard cycle cap; stalling past it raises ``SimulationStalled``."""
-        return replace(
-            self, max_cycles=None if max_cycles is None else int(max_cycles)
-        )
+        if max_cycles is not None:
+            max_cycles = int(max_cycles)
+            if max_cycles < 1:
+                raise ParameterError(
+                    f"max_cycles must be >= 1 (or None), got {max_cycles}"
+                )
+        return replace(self, max_cycles=max_cycles)
 
     def with_trace(self, trace: bool, mode: str = "full") -> "Scenario":
         """Toggle the structured tracer (and its ring/aggregate mode)."""
         return replace(self, trace=trace, trace_mode=mode)
 
     def with_block_sizes(self, sizes: dict[str, int]) -> "Scenario":
-        """Pin block sizes instead of solving Algorithm 1 at build time."""
+        """Pin block sizes instead of solving Algorithm 1 at build time.
+
+        Refuses to silently overwrite sizes an earlier :meth:`solve` (or
+        an earlier pin) already assigned differently — two conflicting
+        sources of η must be an error, not a last-write-wins surprise.
+        """
+        conflicts = {
+            s.name: (s.block_size, sizes[s.name])
+            for s in self.system.streams
+            if s.name in sizes and s.block_size is not None
+            and s.block_size != sizes[s.name]
+        }
+        if conflicts:
+            detail = ", ".join(
+                f"{name}: {have} -> {want}"
+                for name, (have, want) in sorted(conflicts.items())
+            )
+            raise ParameterError(
+                f"with_block_sizes conflicts with already-assigned block "
+                f"sizes ({detail}); build the scenario from the unsolved "
+                f"system to pin different sizes"
+            )
         return replace(self, system=self.system.with_block_sizes(sizes))
 
     # -- execution -------------------------------------------------------

@@ -21,6 +21,7 @@ from .blocksize_bnb import (
 from .blocksize_ilp import (
     BlockSizeResult,
     build_block_size_model,
+    closed_form_block_sizes,
     compute_block_sizes,
     resolve_block_sizes,
     sharing_load,
@@ -124,6 +125,7 @@ __all__ = [
     "check_conformance",
     "check_modal_conformance",
     "check_stream",
+    "closed_form_block_sizes",
     "compute_block_sizes",
     "dump_system",
     "load_system",

@@ -29,6 +29,7 @@ from .params import GatewaySystem, ParameterError
 
 __all__ = [
     "BlockSizeResult",
+    "closed_form_block_sizes",
     "compute_block_sizes",
     "resolve_block_sizes",
     "build_block_size_model",
@@ -120,6 +121,76 @@ def compute_block_sizes(
         backend=sol.backend,
         load=load,
     )
+
+
+def closed_form_block_sizes(
+    system: GatewaySystem,
+    c1_mode: str = "sum",
+    eta_max: int | None = None,
+) -> dict[str, int] | None:
+    """Conservative feasible Eq. 5 block sizes, without touching a solver.
+
+    Relaxing the integrality of Algorithm 1 gives a closed form: summing
+    ``η_s = μ_s·(c1_s + c0·(T + F·n))`` over all streams and solving for the
+    total ``T = Σ η_s`` yields
+
+        T* = (Σ_s μ_s·c1_s + c0·F·n·Σ_s μ_s) / (1 − load)
+
+    and each ``η_s`` follows by substitution.  Ceiling every η grows the
+    round slightly, so a few monotone fix-up sweeps re-check the exact
+    integer constraint until stable.  The result satisfies every Eq. 5
+    constraint but is not minimal — it is the *conservative* answer an
+    admission-control path can serve while the exact solver is unavailable
+    (tripped circuit breaker, solver timeout).
+
+    Returns ``None`` when no assignment can be certified: the load is ≥ 1
+    (genuinely infeasible at any block size), a size exceeds ``eta_max``,
+    or the fix-up fails to settle.
+    """
+    if c1_mode not in ("sum", "paper"):
+        raise ParameterError(f"c1_mode must be 'sum' or 'paper', got {c1_mode!r}")
+    load = sharing_load(system)
+    if load >= 1:
+        return None
+    c0 = system.c0
+    flush = system.flush_stages
+    n = len(system.streams)
+    r_sum = sum(s.reconfigure for s in system.streams)
+
+    def c1(spec) -> int:
+        return r_sum if c1_mode == "sum" else spec.reconfigure
+
+    mu_sum = sum((s.throughput for s in system.streams), Fraction(0))
+    t_star = (
+        sum((s.throughput * c1(s) for s in system.streams), Fraction(0))
+        + c0 * flush * n * mu_sum
+    ) / (1 - load)
+    sizes = {
+        s.name: max(1, ceil(s.throughput * (c1(s) + c0 * (t_star + flush * n))))
+        for s in system.streams
+    }
+    settled = False
+    for _ in range(8 * n + 64):
+        changed = False
+        for s in system.streams:
+            others = sum(v for k, v in sizes.items() if k != s.name)
+            den = 1 - c0 * s.throughput
+            if den <= 0:
+                return None
+            need = max(1, ceil(
+                s.throughput * (c1(s) + c0 * (others + flush * n)) / den
+            ))
+            if sizes[s.name] < need:
+                sizes[s.name] = need
+                changed = True
+        if not changed:
+            settled = True
+            break
+    if not settled:
+        return None
+    if eta_max is not None and any(v > eta_max for v in sizes.values()):
+        return None
+    return sizes
 
 
 def system_fingerprint(system: GatewaySystem, c1_mode: str = "sum") -> tuple:

@@ -95,8 +95,37 @@ def _stream_from(entry: dict[str, Any]) -> StreamSpec:
     )
 
 
+#: every key a system JSON object may carry at the top level
+_SYSTEM_KEYS = frozenset(
+    {"entry_copy", "exit_copy", "ni_capacity", "accelerators", "streams"}
+)
+
+
 def system_from_dict(data: dict[str, Any]) -> GatewaySystem:
-    """Rebuild a gateway system from :func:`system_to_dict` output."""
+    """Rebuild a gateway system from :func:`system_to_dict` output.
+
+    Unknown top-level keys are rejected eagerly with a did-you-mean hint —
+    a misspelled ``entry_copy`` must fail loudly, not silently fall back to
+    its default and skew every bound downstream.
+    """
+    if not isinstance(data, dict):
+        raise ParameterError(
+            f"system config must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = set(data) - _SYSTEM_KEYS
+    if unknown:
+        from difflib import get_close_matches
+
+        hints = []
+        for key in sorted(unknown):
+            close = get_close_matches(str(key), sorted(_SYSTEM_KEYS), n=1)
+            if close:
+                hints.append(f"did you mean {close[0]!r} instead of {key!r}?")
+        hint = (" " + " ".join(hints)) if hints else ""
+        raise ParameterError(
+            f"unknown top-level key(s) {sorted(unknown)} in system config "
+            f"(expected a subset of {sorted(_SYSTEM_KEYS)}).{hint}"
+        )
     try:
         accs = data["accelerators"]
         streams = data["streams"]

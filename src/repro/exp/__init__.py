@@ -29,7 +29,7 @@ chaos-tested in :mod:`repro.exp.chaos`.
 """
 
 from . import tasks
-from .cache import SolverCache
+from .cache import ShardedSolverCache, SolverCache
 from .chaos import ChaosEvent, ChaosMonkey, ChaosPlan, run_chaos_sweep
 from .engine import (
     DEFAULT_CHUNK_SIZE,
@@ -63,6 +63,7 @@ __all__ = [
     "ProcessPoolExecutor",
     "ResultStore",
     "SerialExecutor",
+    "ShardedSolverCache",
     "SolverCache",
     "StoreMismatch",
     "Sweep",

@@ -18,11 +18,21 @@ cache layers two reuse levels on top of it:
 The cache is process-local by design: worker processes each own one, and
 the engine scopes a fresh cache per chunk so a point's result depends only
 on its chunk predecessors (deterministic under any worker count).
+
+Long-running services (:mod:`repro.serve`) cannot afford an unbounded
+memo under tenant churn, and their solves arrive for many unrelated
+systems: :class:`ShardedSolverCache` partitions the memo into independent
+:class:`SolverCache` shards keyed by the system *skeleton* (costs +
+stream-name set, i.e. the fingerprint minus the throughputs), so systems
+that differ only in rates share a shard — and a shard's warm-start
+incumbent stays relevant — while every shard's memo is LRU-bounded.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any
+from zlib import crc32
 
 from ..core.blocksize_ilp import (
     BlockSizeResult,
@@ -31,7 +41,7 @@ from ..core.blocksize_ilp import (
 )
 from ..core.params import GatewaySystem
 
-__all__ = ["SolverCache"]
+__all__ = ["SolverCache", "ShardedSolverCache"]
 
 
 class SolverCache:
@@ -40,15 +50,22 @@ class SolverCache:
     ``resolve`` is a drop-in for
     :func:`~repro.core.blocksize_ilp.resolve_block_sizes`; hit/miss and
     warm-start counters make the reuse rate observable (sweep reports
-    surface them).
+    surface them).  ``capacity`` bounds the memo (LRU eviction) so a cache
+    embedded in a long-running service cannot grow without limit; ``None``
+    (the default, used by the chunk-scoped sweep engine) keeps the
+    historical unbounded behaviour.
     """
 
-    def __init__(self, warm_start: bool = True) -> None:
+    def __init__(self, warm_start: bool = True, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.warm_start_enabled = warm_start
+        self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self.warm_starts = 0
-        self._memo: dict[tuple, BlockSizeResult] = {}
+        self.evictions = 0
+        self._memo: OrderedDict[tuple, BlockSizeResult] = OrderedDict()
         self._incumbent: BlockSizeResult | None = None
 
     def __len__(self) -> int:
@@ -64,6 +81,29 @@ class SolverCache:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    # -- raw memo access (used by the serve layer, which runs its own
+    # solve with a committed warm-start chain and memoizes the result) ----
+    def get(self, fingerprint: tuple) -> BlockSizeResult | None:
+        """Memo lookup by fingerprint; counts a hit or a miss."""
+        cached = self._memo.get(fingerprint)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._memo.move_to_end(fingerprint)
+        self._incumbent = cached
+        return cached
+
+    def put(self, fingerprint: tuple, result: BlockSizeResult) -> None:
+        """Insert a solved result, evicting the least-recently-used entry
+        when over capacity."""
+        self._memo[fingerprint] = result
+        self._memo.move_to_end(fingerprint)
+        self._incumbent = result
+        while self.capacity is not None and len(self._memo) > self.capacity:
+            self._memo.popitem(last=False)
+            self.evictions += 1
+
     def resolve(
         self,
         system: GatewaySystem,
@@ -73,12 +113,9 @@ class SolverCache:
     ) -> BlockSizeResult:
         """Solve Algorithm 1 for ``system``, reusing prior work when possible."""
         fp = system_fingerprint(system, c1_mode=c1_mode)
-        cached = self._memo.get(fp)
+        cached = self.get(fp)
         if cached is not None:
-            self.hits += 1
-            self._incumbent = cached
             return cached
-        self.misses += 1
         previous = self._incumbent if self.warm_start_enabled else None
         result = resolve_block_sizes(
             system, previous=previous, backend=backend,
@@ -86,8 +123,7 @@ class SolverCache:
         )
         if result.warm_start:
             self.warm_starts += 1
-        self._memo[fp] = result
-        self._incumbent = result
+        self.put(fp, result)
         return result
 
     def invalidate(self) -> None:
@@ -104,4 +140,100 @@ class SolverCache:
             "warm_starts": self.warm_starts,
             "hit_rate": self.hit_rate,
             "entries": len(self._memo),
+            "capacity": self.capacity,
+            "evictions": self.evictions,
         }
+
+
+def _shard_skeleton(fingerprint: tuple) -> tuple:
+    """A fingerprint minus the stream throughputs: costs + name set.
+
+    Two systems whose streams differ only in their required rates map to
+    the same skeleton, so they land in the same shard and can warm-start
+    each other.
+    """
+    c1_mode, entry, exit_, accels, streams = fingerprint
+    return (c1_mode, entry, exit_, accels,
+            tuple(name for name, _mu, _r in streams))
+
+
+class ShardedSolverCache:
+    """A fixed set of LRU-bounded :class:`SolverCache` shards.
+
+    Shard selection hashes the system *skeleton* (see
+    :func:`_shard_skeleton`) with a process-stable CRC so placement is
+    deterministic across runs (``hash()`` is salted per process and would
+    not be).  Each shard keeps its own warm-start incumbent, so a shard's
+    incumbents are always structurally similar to the systems it serves,
+    and its memo is independently capacity-bounded — a misbehaving tenant
+    hammering one system shape cannot evict every other tenant's cached
+    solves.
+    """
+
+    def __init__(
+        self,
+        shards: int = 8,
+        capacity: int = 256,
+        warm_start: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self._shards = tuple(
+            SolverCache(warm_start=warm_start, capacity=capacity)
+            for _ in range(shards)
+        )
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    @property
+    def shards(self) -> tuple[SolverCache, ...]:
+        return self._shards
+
+    def shard_index(self, fingerprint: tuple) -> int:
+        key = repr(_shard_skeleton(fingerprint)).encode()
+        return crc32(key) % len(self._shards)
+
+    def shard_for(self, fingerprint: tuple) -> SolverCache:
+        """The shard owning ``fingerprint``'s skeleton."""
+        return self._shards[self.shard_index(fingerprint)]
+
+    def get(self, fingerprint: tuple) -> BlockSizeResult | None:
+        return self.shard_for(fingerprint).get(fingerprint)
+
+    def put(self, fingerprint: tuple, result: BlockSizeResult) -> None:
+        self.shard_for(fingerprint).put(fingerprint, result)
+
+    def resolve(
+        self,
+        system: GatewaySystem,
+        backend: str = "scipy",
+        c1_mode: str = "sum",
+        eta_max: int | None = None,
+    ) -> BlockSizeResult:
+        fp = system_fingerprint(system, c1_mode=c1_mode)
+        return self.shard_for(fp).resolve(
+            system, backend=backend, c1_mode=c1_mode, eta_max=eta_max
+        )
+
+    def invalidate(self) -> None:
+        for shard in self._shards:
+            shard.invalidate()
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate counters plus the per-shard breakdown."""
+        totals = {
+            "lookups": 0, "hits": 0, "misses": 0,
+            "warm_starts": 0, "entries": 0, "evictions": 0,
+        }
+        per_shard = []
+        for shard in self._shards:
+            s = shard.stats()
+            per_shard.append(s)
+            for key in totals:
+                totals[key] += s[key]
+        totals["hit_rate"] = (
+            totals["hits"] / totals["lookups"] if totals["lookups"] else 0.0
+        )
+        totals["shards"] = per_shard
+        return totals

@@ -1,0 +1,152 @@
+"""Blocking line-JSON client for the admission service.
+
+A thin synchronous wrapper over a TCP socket — the shape a tenant-side
+integration (or the CI smoke script) actually wants: open, fire requests,
+read structured answers, no asyncio required on the client side.
+
+:func:`smoke_session` is the scripted CI exercise: join, duplicate-join,
+quote, overload probing, leave, and shutdown, asserting the structured
+reject codes along the way.  It returns a JSON-friendly summary and is
+what ``repro serve --smoke`` runs against its own freshly-bound server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+__all__ = ["ServeClient", "smoke_session"]
+
+
+class ServeClient:
+    """One blocking connection to a running admission service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object, block for its response object."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _expect(summary: list, name: str, ok: bool, detail: str = "") -> bool:
+    summary.append({"check": name, "ok": bool(ok), "detail": detail})
+    return bool(ok)
+
+
+def smoke_session(host: str, port: int, *,
+                  shutdown: bool = True) -> dict[str, Any]:
+    """Scripted join/overload/leave exercise against a live server.
+
+    Returns ``{"ok": bool, "checks": [...]}`` — every check names the
+    behaviour it pins (structured reject codes included), so a CI failure
+    reads as *which* contract broke, not just a non-zero exit.
+    """
+    checks: list[dict[str, Any]] = []
+    ok = True
+    with ServeClient(host, port) as c:
+        status = c.request({"op": "status"})
+        ok &= _expect(checks, "status.ok", status.get("ok") is True)
+        baseline = len(status.get("streams", {}))
+
+        join = c.request({
+            "op": "join", "tenant": "smoke", "stream": "smoke-0",
+            "throughput": [1, 4096], "reconfigure": 16,
+            "idempotency_key": "smoke-join-0",
+        })
+        ok &= _expect(checks, "join.admitted", join.get("ok") is True
+                      and join.get("admitted") is True, json.dumps(join))
+        ok &= _expect(checks, "join.quotes_budget",
+                      isinstance(join.get("budget"), int)
+                      and join["budget"] > 0)
+
+        retry = c.request({
+            "op": "join", "tenant": "smoke", "stream": "smoke-0",
+            "throughput": [1, 4096], "reconfigure": 16,
+            "idempotency_key": "smoke-join-0",
+        })
+        ok &= _expect(checks, "join.idempotent_replay",
+                      retry.get("replayed") is True
+                      and retry.get("transition") == join.get("transition"),
+                      json.dumps(retry))
+
+        dup = c.request({
+            "op": "join", "tenant": "other", "stream": "smoke-0",
+            "throughput": [1, 4096], "reconfigure": 16,
+        })
+        ok &= _expect(checks, "join.duplicate_rejected",
+                      dup.get("ok") is False
+                      and dup.get("error", {}).get("code") == "already_joined",
+                      json.dumps(dup))
+
+        # an absurd rate must fail the Eq. 5 test with a machine-readable
+        # reason (bound_exceeded closed; breaker_open while degraded)
+        greedy = c.request({
+            "op": "join", "tenant": "smoke", "stream": "smoke-greedy",
+            "throughput": [9, 1], "reconfigure": 16,
+        })
+        ok &= _expect(checks, "join.bound_exceeded",
+                      greedy.get("ok") is False
+                      and greedy.get("error", {}).get("code")
+                      in ("bound_exceeded", "breaker_open"),
+                      json.dumps(greedy))
+
+        quote = c.request({
+            "op": "quote", "tenant": "smoke", "stream": "smoke-1",
+            "throughput": [1, 4096], "reconfigure": 16,
+        })
+        ok &= _expect(checks, "quote.answers", quote.get("ok") is True
+                      and "admit" in quote, json.dumps(quote))
+
+        malformed = c.request({"op": "jion"})
+        ok &= _expect(checks, "malformed.did_you_mean",
+                      malformed.get("ok") is False
+                      and malformed.get("error", {}).get("code") == "malformed"
+                      and "join" in malformed.get("error", {}).get("message", ""),
+                      json.dumps(malformed))
+
+        not_owner = c.request({"op": "leave", "tenant": "imposter",
+                               "stream": "smoke-0"})
+        ok &= _expect(checks, "leave.not_owner",
+                      not_owner.get("ok") is False
+                      and not_owner.get("error", {}).get("code") == "not_owner",
+                      json.dumps(not_owner))
+
+        leave = c.request({"op": "leave", "tenant": "smoke",
+                           "stream": "smoke-0",
+                           "idempotency_key": "smoke-leave-0"})
+        ok &= _expect(checks, "leave.ok", leave.get("ok") is True,
+                      json.dumps(leave))
+
+        final = c.request({"op": "status"})
+        ok &= _expect(checks, "status.restored",
+                      len(final.get("streams", {})) == baseline,
+                      json.dumps(sorted(final.get("streams", {}))))
+        fingerprint = final.get("fingerprint")
+
+        if shutdown:
+            down = c.request({"op": "shutdown"})
+            ok &= _expect(checks, "shutdown.ack", down.get("ok") is True)
+
+    return {"ok": ok, "checks": checks, "fingerprint": fingerprint}

@@ -1,0 +1,113 @@
+"""The asyncio TCP front end of the admission service.
+
+Transport framing is one JSON object per line in both directions
+(newline-delimited JSON over ``asyncio.start_server`` — pure stdlib).
+The transport layer owns nothing but bytes: every admission decision,
+deadline, and failure answer lives in
+:class:`~repro.serve.service.AdmissionService`, so the service is fully
+testable without a socket and the server loop stays small enough to
+audit.
+
+Robustness at this layer:
+
+* a line that is not valid JSON answers a structured ``malformed`` error
+  instead of dropping the connection (a fuzzing client cannot wedge the
+  accept loop);
+* oversized lines (> ``MAX_LINE`` bytes) terminate only that connection;
+* a handler exception answers ``internal`` and keeps the connection —
+  the service's own state was already protected by its atomic commit;
+* client disconnects mid-request are absorbed per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from .protocol import error_response
+from .service import AdmissionService
+
+__all__ = ["MAX_LINE", "handle_connection", "serve_forever"]
+
+#: hard bound on one request line; beyond it the connection is dropped
+MAX_LINE = 1 << 20
+
+
+async def handle_connection(
+    service: AdmissionService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client connection until EOF."""
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # request line exceeded the stream limit: unrecoverable
+                # framing for this connection only
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw: Any = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = error_response(None, "malformed",
+                                          f"invalid JSON: {exc}")
+            else:
+                try:
+                    response = await service.submit(raw)
+                except Exception as exc:  # never leak a traceback as framing
+                    response = error_response(
+                        None, "internal", f"unhandled server error: {exc}")
+            writer.write(json.dumps(response).encode() + b"\n")
+            try:
+                await writer.drain()
+            except ConnectionError:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # server teardown cancels lingering handlers mid-close; the
+            # transport is going away either way
+            pass
+
+
+async def serve_forever(
+    service: AdmissionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready: asyncio.Event | None = None,
+    bound: list | None = None,
+) -> None:
+    """Run the TCP front end until a client requests shutdown.
+
+    ``port=0`` binds an ephemeral port; the actual ``(host, port)`` is
+    appended to ``bound`` (when given) and ``ready`` is set once the
+    socket accepts connections — the shape the CLI and the tests use to
+    rendezvous without sleeping.
+    """
+    await service.start()
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(service, r, w),
+        host, port, limit=MAX_LINE,
+    )
+    try:
+        addr = server.sockets[0].getsockname()
+        if bound is not None:
+            bound.append((addr[0], addr[1]))
+        if ready is not None:
+            ready.set()
+        async with server:
+            await service.shutdown_requested.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.stop()

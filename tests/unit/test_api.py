@@ -244,3 +244,53 @@ def test_facade_matches_direct_harness_call(small_system):
     assert {n: m.to_dict() for n, m in via_api.metrics().items()} == {
         n: m.to_dict() for n, m in direct.metrics().items()
     }
+
+
+# ---------------------------------------------------------------------------
+# builder error paths: every bad value fails at the call that introduced it
+# ---------------------------------------------------------------------------
+
+def _unsolved_system():
+    return GatewaySystem(
+        accelerators=(AcceleratorSpec("a", 1),),
+        streams=(StreamSpec("s0", Fraction(1, 6000), 100),),
+        entry_copy=15,
+        exit_copy=1,
+    )
+
+
+def test_with_backend_rejects_unknown_backend_eagerly(small_system):
+    with pytest.raises(ParameterError, match="unknown ILP backend 'gurobi'"):
+        Scenario(system=small_system).with_backend("gurobi")
+
+
+def test_with_blocks_rejects_non_positive(small_system):
+    with pytest.raises(ParameterError, match="blocks must be >= 1"):
+        Scenario(system=small_system).with_blocks(0)
+
+
+def test_with_spares_rejects_negative(small_system):
+    with pytest.raises(ParameterError, match="spares must be >= 0"):
+        Scenario(system=small_system).with_spares(-1)
+
+
+def test_with_max_cycles_rejects_non_positive(small_system):
+    with pytest.raises(ParameterError, match="max_cycles must be >= 1"):
+        Scenario(system=small_system).with_max_cycles(0)
+    # None stays the documented "no cap" spelling
+    assert Scenario(system=small_system).with_max_cycles(None).max_cycles is None
+
+
+def test_with_block_sizes_conflicts_with_solve():
+    scenario = Scenario(system=_unsolved_system()).solve()
+    solved = scenario.system.stream("s0").block_size
+    with pytest.raises(ParameterError, match="conflicts with already-assigned"):
+        scenario.with_block_sizes({"s0": solved + 1})
+    # re-pinning the identical size is not a conflict
+    again = scenario.with_block_sizes({"s0": solved})
+    assert again.system.stream("s0").block_size == solved
+
+
+def test_with_block_sizes_on_unsolved_system_still_pins():
+    scenario = Scenario(system=_unsolved_system()).with_block_sizes({"s0": 9})
+    assert scenario.system.stream("s0").block_size == 9

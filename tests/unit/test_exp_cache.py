@@ -99,6 +99,8 @@ def test_stats_shape():
         "warm_starts": 0,
         "hit_rate": 0.5,
         "entries": 1,
+        "capacity": None,
+        "evictions": 0,
     }
 
 
@@ -124,3 +126,71 @@ def test_cache_plugs_into_scenario_solve():
 def test_eta_max_flows_through(eta_max):
     result = SolverCache().resolve(make_system(), eta_max=eta_max)
     assert all(v >= 1 for v in result.block_sizes.values())
+
+
+# ---------------------------------------------------------------------------
+# bounded (LRU) cache and the sharded variant behind the admission service
+# ---------------------------------------------------------------------------
+
+def test_lru_capacity_evicts_oldest_entry():
+    cache = SolverCache(capacity=2)
+    a, b, c = make_system(60), make_system(61), make_system(62)
+    cache.resolve(a)
+    cache.resolve(b)
+    cache.resolve(a)  # refresh a: b is now the eviction candidate
+    cache.resolve(c)  # evicts b
+    assert len(cache) == 2
+    assert cache.stats()["evictions"] == 1
+    misses = cache.misses
+    cache.resolve(a)
+    assert cache.misses == misses  # a survived
+    cache.resolve(b)
+    assert cache.misses == misses + 1  # b was evicted, must re-solve
+
+
+def test_sharded_cache_memoizes_and_aggregates_stats():
+    from repro.exp import ShardedSolverCache
+
+    cache = ShardedSolverCache(shards=4, capacity=8)
+    system = make_system()
+    first = cache.resolve(system)
+    second = cache.resolve(system)
+    assert second is first
+    stats = cache.stats()
+    assert stats["lookups"] == 2 and stats["hits"] == 1
+    assert len(stats["shards"]) == 4
+    assert sum(s["entries"] for s in stats["shards"]) == len(cache) == 1
+
+
+def test_sharded_cache_same_shape_shares_a_shard():
+    from repro.exp import ShardedSolverCache
+    from repro.exp.cache import _shard_skeleton
+    from repro.core.blocksize_ilp import system_fingerprint
+
+    cache = ShardedSolverCache(shards=8)
+    # same stream names/costs, different throughputs: same shard, so the
+    # warm-start incumbent carries across an admission service's re-solves
+    fp_a = system_fingerprint(make_system(60), "sum")
+    fp_b = system_fingerprint(make_system(61), "sum")
+    assert _shard_skeleton(fp_a) == _shard_skeleton(fp_b)
+    assert cache.shard_index(fp_a) == cache.shard_index(fp_b)
+
+
+def test_sharded_cache_shard_index_is_process_stable():
+    from repro.exp import ShardedSolverCache
+    from repro.core.blocksize_ilp import system_fingerprint
+
+    fp = system_fingerprint(make_system(), "sum")
+    idx = [ShardedSolverCache(shards=8).shard_index(fp) for _ in range(3)]
+    assert len(set(idx)) == 1  # crc32-based, not salted hash()
+
+
+def test_sharded_cache_invalidate_clears_all_shards():
+    from repro.exp import ShardedSolverCache
+
+    cache = ShardedSolverCache(shards=2)
+    cache.resolve(make_system(60))
+    cache.resolve(make_system(61))
+    assert len(cache) == 2
+    cache.invalidate()
+    assert len(cache) == 0

@@ -156,3 +156,28 @@ def test_system_bad_json_rejected():
 def test_system_missing_sections_rejected():
     with pytest.raises(ParameterError):
         system_from_dict({"streams": []})
+
+
+def test_system_unknown_top_level_key_rejected_with_hint():
+    with pytest.raises(ParameterError, match="did you mean 'entry_copy'"):
+        system_from_dict({
+            "entry_cpy": 15,
+            "accelerators": [{"name": "a", "rho": 1}],
+            "streams": [{"name": "s", "throughput": [1, 40],
+                         "reconfigure": 1}],
+        })
+
+
+def test_system_unknown_key_without_close_match_lists_valid_keys():
+    with pytest.raises(ParameterError, match="expected a subset of"):
+        system_from_dict({
+            "zzz": True,
+            "accelerators": [{"name": "a", "rho": 1}],
+            "streams": [{"name": "s", "throughput": [1, 40],
+                         "reconfigure": 1}],
+        })
+
+
+def test_system_non_object_config_rejected():
+    with pytest.raises(ParameterError, match="JSON object"):
+        system_from_dict([1, 2, 3])

@@ -1,0 +1,115 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_breaker(**kw):
+    clock = FakeClock()
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("cooldown", 10.0)
+    kw.setdefault("jitter", 0.0)
+    return CircuitBreaker(clock=clock, **kw), clock
+
+
+def test_starts_closed_and_allows_solves():
+    b, _ = make_breaker()
+    assert b.state == CLOSED
+    assert not b.is_open
+    assert b.begin_probe()
+
+
+def test_trips_after_consecutive_failures_only():
+    b, _ = make_breaker(failure_threshold=3)
+    b.record_failure()
+    b.record_failure()
+    assert b.state == CLOSED
+    b.record_success()  # success resets the run
+    b.record_failure()
+    b.record_failure()
+    assert b.state == CLOSED
+    b.record_failure()
+    assert b.state == OPEN
+    assert b.is_open
+    assert b.trips == 1
+
+
+def test_half_open_after_cooldown_single_probe_slot():
+    b, clock = make_breaker()
+    for _ in range(3):
+        b.record_failure()
+    assert b.state == OPEN
+    assert not b.begin_probe()
+    clock.advance(10.0)
+    assert b.state == HALF_OPEN
+    assert b.begin_probe()        # first caller wins the slot
+    assert not b.begin_probe()    # second caller must stay conservative
+    assert b.probes == 1
+
+
+def test_probe_success_closes():
+    b, clock = make_breaker()
+    for _ in range(3):
+        b.record_failure()
+    clock.advance(10.0)
+    assert b.begin_probe()
+    b.record_success()
+    assert b.state == CLOSED
+    assert b.begin_probe()
+
+
+def test_probe_failure_reopens_immediately():
+    b, clock = make_breaker()
+    for _ in range(3):
+        b.record_failure()
+    clock.advance(10.0)
+    assert b.begin_probe()
+    b.record_failure()  # one half-open failure re-trips, no threshold needed
+    assert b.state == OPEN
+    assert b.trips == 2
+
+
+def test_jitter_is_seeded_and_deterministic():
+    opens = []
+    for _ in range(2):
+        b, clock = make_breaker(jitter=5.0, seed=42)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)  # base cooldown alone must not re-arm with jitter
+        state_at_base = b.state
+        clock.advance(5.0)
+        opens.append((state_at_base, b.state, b._retry_at))
+    assert opens[0] == opens[1]
+    assert opens[0][1] == HALF_OPEN
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=-1.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(jitter=-0.1)
+
+
+def test_stats_snapshot():
+    b, _ = make_breaker()
+    b.record_failure()
+    b.record_success()
+    s = b.stats()
+    assert s["state"] == CLOSED
+    assert s["failures"] == 1
+    assert s["successes"] == 1
+    assert s["consecutive_failures"] == 0
