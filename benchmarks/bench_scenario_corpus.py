@@ -1,0 +1,117 @@
+"""CORPUS: a seeded generated-scenario corpus through the sweep engine.
+
+The scenario registry's load-bearing claim — every output of
+``generate(seed)`` builds, simulates, and passes attributed Eq. 2–5
+conformance with **zero unattributed violations** — gets measured here at
+corpus scale instead of one seed at a time.  A strict
+:func:`repro.exp.scenario_corpus` sweep fans ``scenario://generated``
+across consecutive seeds; any unattributed violation fails its point, so
+the corpus result doubles as the generator's conformance gate.
+
+Also asserted: the corpus is **deterministic** (two serial runs produce
+byte-equal payload digests — the generator never consults ambient
+randomness) and **pool-stable** (serial ≡ parallel digest identity holds
+for scenario points exactly as it does for the analytic tasks).
+
+The run persists as ``BENCH_scenario_corpus.json`` next to this file:
+per-point violation/attribution counts, churn coverage (how many corpus
+points exercised mode transitions), digests and timings, so a generator
+or attribution regression is visible in the artifact diff.
+"""
+
+import os
+
+from repro.core import make_report
+from repro.core.config_io import dump_report, load_report
+from repro.exp import run_sweep, scenario_corpus
+
+from conftest import banner
+
+POINTS = 24
+BASE_SEED = 0
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ARTIFACT = os.path.join(HERE, "BENCH_scenario_corpus.json")
+
+
+def make_corpus():
+    return scenario_corpus(
+        f"scenario://generated?seed={BASE_SEED}",
+        points=POINTS,
+        name="scenario_corpus",
+        strict=True,
+    )
+
+
+def test_corpus_fully_attributed(benchmark):
+    corpus = make_corpus()
+    result = benchmark.pedantic(
+        lambda: run_sweep(corpus, workers=1), rounds=1
+    )
+    banner(f"CORPUS {POINTS} generated scenarios, strict conformance")
+    rows = [o.value for o in result.outcomes]
+    churny = sum(1 for r in rows if r["transitions"])
+    violations = sum(r["violations"] for r in rows)
+    print(f"{len(rows)} points, {churny} with churn, "
+          f"{violations} violation(s), all attributed")
+    assert len(rows) == POINTS
+    assert all(o.error is None for o in result.outcomes)
+    # the generator invariant: violations may occur, but every one is
+    # explained by an injected fault or a transition record
+    assert all(r["fully_attributed"] for r in rows)
+    assert all(r["unattributed"] == 0 for r in rows)
+    # the corpus must actually exercise churn, not just static systems
+    assert churny >= POINTS // 4, f"only {churny} churny points"
+
+
+def test_corpus_deterministic_and_pool_stable(benchmark):
+    corpus = make_corpus()
+    serial = run_sweep(corpus, workers=1)
+    workers = max(2, min(4, os.cpu_count() or 1))
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(corpus, workers=workers), rounds=1
+    )
+    again = run_sweep(corpus, workers=1)
+    banner("CORPUS determinism: serial == serial == parallel")
+    print(f"serial   {serial.digest()}")
+    print(f"repeat   {again.digest()}")
+    print(f"parallel {parallel.digest()}  ({parallel.workers} workers)")
+    assert again.digest() == serial.digest()
+    assert parallel.digest() == serial.digest()
+
+
+def test_scenario_corpus_artifact(benchmark):
+    """One full corpus run, persisted as BENCH_scenario_corpus.json."""
+    corpus = make_corpus()
+    result = benchmark.pedantic(
+        lambda: run_sweep(corpus, workers=1), rounds=1
+    )
+    rows = [o.value for o in result.outcomes]
+    report = make_report("sweep", {
+        "name": "scenario_corpus",
+        "reference": f"scenario://generated?seed={BASE_SEED}",
+        "points": len(rows),
+        "digest": result.digest(),
+        "elapsed_s": round(result.elapsed_s, 3),
+        "churn_points": sum(1 for r in rows if r["transitions"]),
+        "violations": sum(r["violations"] for r in rows),
+        "unattributed": sum(r["unattributed"] for r in rows),
+        "fully_attributed": all(r["fully_attributed"] for r in rows),
+        "horizon_cycles": {
+            "min": min(r["horizon"] for r in rows),
+            "max": max(r["horizon"] for r in rows),
+        },
+        "outcomes": [
+            {"id": o.id, **o.value} for o in result.outcomes
+        ],
+    })
+    with open(ARTIFACT, "w") as fh:
+        fh.write(dump_report(report) + "\n")
+    banner("CORPUS artifact")
+    print(f"wrote {ARTIFACT}")
+    print(f"{report['points']} points in {report['elapsed_s']} s, "
+          f"{report['violations']} violation(s), "
+          f"{report['unattributed']} unattributed")
+    assert report["fully_attributed"]
+    assert report["unattributed"] == 0
+    assert load_report(open(ARTIFACT).read())["kind"] == "sweep"

@@ -9,11 +9,15 @@ Usage::
     python -m repro utilization
     python -m repro schedule [--eta N]
     python -m repro analyze CONFIG.json
-    python -m repro metrics CONFIG.json [--blocks N] [--json]
-    python -m repro conformance CONFIG.json [--blocks N] [--json] [--uncalibrated]
-    python -m repro faults CONFIG.json --plan PLAN.json [--blocks N] [--json]
-    python -m repro reconfig CONFIG.json --plan PLAN.json [--spares N] [--json]
+    python -m repro scenarios list
+    python -m repro scenarios describe NAME
+    python -m repro scenarios run NAME[?params] [--blocks N] [--json]
+    python -m repro metrics [CONFIG.json | --scenario NAME] [--blocks N] [--json]
+    python -m repro conformance [CONFIG.json | --scenario NAME] [--json] [--uncalibrated]
+    python -m repro faults [CONFIG.json | --scenario NAME] [--plan PLAN.json] [--json]
+    python -m repro reconfig [CONFIG.json | --scenario NAME] [--plan PLAN.json] [--json]
     python -m repro sweep SPEC.json [--workers N | --serial] [--out DIR]
+    python -m repro sweep scenario://generated?seed=N --points K
 
 Each subcommand prints one reproduced artefact; together they cover the
 evaluation section.  `pytest benchmarks/ --benchmark-only -s` runs the full
@@ -27,6 +31,15 @@ spare-tile failover — and checks the per-mode bounds, exiting non-zero on
 unattributed violations or a transition-budget overrun.  ``sweep`` fans a
 parameter-sweep spec out over worker processes (:mod:`repro.exp`) and
 persists the merged results as ``BENCH_<name>.json``.
+
+The simulation subcommands all take workloads from the **scenario
+registry** (:mod:`repro.app.scenarios`): a positional ``CONFIG.json``
+still describes a raw system, ``--scenario NAME[?params]`` references a
+registered entry, and with neither the PAL decoder runs.  ``repro
+scenarios`` lists, describes and runs registry entries directly, and
+``repro sweep`` accepts a ``scenario://`` reference to fan a seeded
+generated corpus through the executors, gating on conformance-clean
+results.
 
 The simulation subcommands are thin shells over :mod:`repro.api`
 (``Scenario`` → ``RunResult``); ``--json`` output is the versioned
@@ -178,25 +191,46 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _scenario_from_args(args: argparse.Namespace):
+    """Resolve the positional config / ``--scenario`` flag into a Scenario.
+
+    Precedence: an explicit ``--scenario NAME[?params]`` reference wins, a
+    positional system-JSON path is next, and with neither the registry's
+    ``pal_decoder`` entry is the default — so the bare subcommands run the
+    paper's own workload.
+    """
+    from .api import Scenario, load_scenario
+
+    ref = getattr(args, "scenario", None)
+    if ref is not None:
+        return Scenario.from_registry(ref)
+    if args.config is not None:
+        return load_scenario(args.config)
+    return Scenario.from_registry("pal_decoder")
+
+
 def _build_result(args: argparse.Namespace, **extra):
     """Build the :class:`repro.api.Scenario` an args namespace describes.
 
     The single construction point all four simulation subcommands share —
     this is where the CLI is re-routed through the :mod:`repro.api` facade
-    (``_simulated_run`` below remains as a deprecation shim).
+    (``_simulated_run`` below remains as a deprecation shim).  ``--blocks``
+    left unset keeps the scenario's own setting (4 for plain configs).
     """
-    from .api import load_scenario
+    return _prepared_scenario(args, **extra).build()
 
-    scenario = (
-        load_scenario(args.config)
-        .with_blocks(args.blocks)
-        .with_backend(args.backend)
-    )
+
+def _prepared_scenario(args: argparse.Namespace, **extra):
+    """The fully-configured Scenario for ``_build_result`` (pre-build)."""
+    scenario = _scenario_from_args(args)
+    if getattr(args, "blocks", None) is not None:
+        scenario = scenario.with_blocks(args.blocks)
+    scenario = scenario.with_backend(args.backend)
     if getattr(args, "max_cycles", None) is not None:
         scenario = scenario.with_max_cycles(args.max_cycles)
     for key, value in extra.items():
         scenario = getattr(scenario, f"with_{key}")(value)
-    return scenario.build()
+    return scenario
 
 
 def _simulated_run(args: argparse.Namespace, **kwargs):
@@ -214,7 +248,9 @@ def _simulated_run(args: argparse.Namespace, **kwargs):
     )
     from .api import load_scenario
 
-    scenario = load_scenario(args.config).with_blocks(args.blocks)
+    scenario = load_scenario(args.config)
+    if getattr(args, "blocks", None) is not None:
+        scenario = scenario.with_blocks(args.blocks)
     scenario = scenario.with_backend(args.backend)
     if "max_cycles" in kwargs:
         scenario = scenario.with_max_cycles(kwargs.pop("max_cycles"))
@@ -230,15 +266,21 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     """Simulate a JSON gateway system and print per-stream runtime metrics."""
     import json
 
+    from .core.params import ParameterError
     from .sim import metrics_table
 
-    result = _build_result(args)
+    try:
+        result = _build_result(args)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(result.report("metrics"), indent=2))
         return 0
     metrics = result.metrics()
     util = result.utilization()
-    print(f"simulated {args.blocks} blocks/stream over {result.horizon} cycles")
+    print(f"simulated {result.scenario.blocks} blocks/stream over "
+          f"{result.horizon} cycles")
     print()
     print(metrics_table(metrics.values()))
     print()
@@ -260,8 +302,19 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     """Simulate a JSON gateway system; report observed-vs-bound margins."""
     import json
 
-    result = _build_result(args)
-    report = result.conformance(calibrated=not args.uncalibrated)
+    from .core.params import ParameterError
+
+    try:
+        result = _build_result(args)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.reconfig is not None:
+        # churn run: the static model's block sizes are stale after the
+        # online re-solves — check each steady mode against its own model
+        report = result.mode_conformance(calibrated=not args.uncalibrated).merged()
+    else:
+        report = result.conformance(calibrated=not args.uncalibrated)
     if args.json:
         print(json.dumps(
             result.report("conformance", calibrated=not args.uncalibrated),
@@ -269,7 +322,8 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         ))
     else:
         which = "bare-model" if args.uncalibrated else "calibrated"
-        print(f"simulated {args.blocks} blocks/stream over {result.horizon} cycles; "
+        print(f"simulated {result.scenario.blocks} blocks/stream over "
+              f"{result.horizon} cycles; "
               f"checking against {which} Eq. 2–5 bounds")
         print()
         print(report.summary())
@@ -309,17 +363,33 @@ def cmd_faults(args: argparse.Namespace) -> int:
     """Simulate a JSON gateway system under a fault plan; report recovery."""
     import json
 
-    plan = _load_fault_plan(args.plan)
-    if plan is None:
+    from .core.params import ParameterError
+
+    extra = {}
+    if args.plan is not None:
+        plan = _load_fault_plan(args.plan)
+        if plan is None:
+            return 2
+        extra["faults"] = plan
+    try:
+        scenario = _prepared_scenario(args, **extra)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = _build_result(args, faults=plan)
+    plan = scenario.faults
+    if not plan:
+        print("error: no fault plan — give --plan PLAN.json, or a "
+              "--scenario whose entry carries one (e.g. multi_mode)",
+              file=sys.stderr)
+        return 2
+    result = scenario.build()
     run = result.run
     report = result.fault_report()
     if args.json:
         print(json.dumps(result.report("faults"), indent=2))
         return 0 if report["fully_attributed"] else 1
-    print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles "
-          f"under {len(plan)} fault spec(s), seed {plan.seed}")
+    print(f"simulated {scenario.blocks} blocks/stream over {run.horizon} "
+          f"cycles under {len(plan)} fault spec(s), seed {plan.seed}")
     print()
     print(f"{len(report['injected'])} fault(s) fired:")
     for e in report["injected"]:
@@ -345,10 +415,28 @@ def cmd_reconfig(args: argparse.Namespace) -> int:
     """Run a churn plan (joins/leaves/tile failures) with live reconfiguration."""
     import json
 
-    plan = _load_fault_plan(args.plan)
-    if plan is None:
+    from .core.params import ParameterError
+
+    if args.blocks is None and args.scenario is None:
+        args.blocks = 8  # historical reconfig default for plain configs
+    extra = {"spares": args.spares}
+    if args.plan is not None:
+        plan = _load_fault_plan(args.plan)
+        if plan is None:
+            return 2
+        extra["faults"] = plan
+    try:
+        scenario = _prepared_scenario(args, **extra)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = _build_result(args, faults=plan, spares=args.spares)
+    plan = scenario.faults
+    if not plan and not args.spares:
+        print("error: no churn plan — give --plan PLAN.json, --spares N, or "
+              "a --scenario whose entry carries churn (e.g. multi_mode)",
+              file=sys.stderr)
+        return 2
+    result = scenario.build()
     run = result.run
     rm = run.reconfig
     if rm is None:
@@ -365,8 +453,9 @@ def cmd_reconfig(args: argparse.Namespace) -> int:
         print(json.dumps(result.report("reconfig"), indent=2))
         return 0 if attributed.fully_attributed and ok_budget else 1
 
-    print(f"simulated {args.blocks} blocks/stream over {run.horizon} cycles "
-          f"with {len(plan)} scheduled event(s), {args.spares} spare tile(s)")
+    print(f"simulated {scenario.blocks} blocks/stream over {run.horizon} "
+          f"cycles with {len(plan) if plan else 0} scheduled event(s), "
+          f"{args.spares} spare tile(s)")
     print()
     if not rm.transitions:
         print("no mode transitions occurred")
@@ -391,6 +480,59 @@ def cmd_reconfig(args: argparse.Namespace) -> int:
     return 0 if attributed.fully_attributed and ok_budget else 1
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List, describe or run entries of the scenario registry."""
+    import json
+
+    from .app import scenarios as registry
+
+    if args.action == "list":
+        width = max((len(n) for n in registry.names()), default=0)
+        for name in registry.names():
+            d = registry.get(name)
+            tags = f"  [{', '.join(d.tags)}]" if d.tags else ""
+            print(f"{name:<{width}}  {d.description}{tags}")
+        return 0
+
+    if args.action == "describe":
+        try:
+            print(registry.describe(args.name))
+        except registry.ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    # run NAME[?params]
+    try:
+        scenario = registry.build_scenario(args.name)
+    except registry.ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.blocks is not None:
+        scenario = scenario.with_blocks(args.blocks)
+    scenario = scenario.with_backend(args.backend)
+    if args.max_cycles is not None:
+        scenario = scenario.with_max_cycles(args.max_cycles)
+    result = scenario.build()
+    if args.json:
+        print(json.dumps(result.report("run"), indent=2))
+        return 0 if result.clean else 1
+    attributed = result.attributed_conformance()
+    name = registry.parse_ref(args.name)[0]
+    rm = result.reconfig
+    print(f"scenario {name}: {len(result.system.streams)} stream(s), "
+          f"{len(result.system.accelerators)} accelerator(s), "
+          f"{scenario.blocks} blocks/stream over {result.horizon} cycles")
+    if rm is not None:
+        print(f"{len(rm.transitions)} mode transition(s), "
+              f"{sum(1 for t in rm.transitions if t.accepted)} accepted")
+    print()
+    print(attributed.summary())
+    verdict = "clean" if attributed.fully_attributed else "UNATTRIBUTED VIOLATIONS"
+    print(f"\nverdict: {verdict}")
+    return 0 if attributed.fully_attributed else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Fan a sweep-spec JSON out over an execution backend; persist BENCH JSON."""
     import json
@@ -398,29 +540,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     from .exp import Sweep, SweepError, SweepInterrupted, run_sweep
     from .exp.store import StoreMismatch
+    from .exp.sweep import scenario_corpus
     from .exp.tasks import get_task
 
-    try:
-        spec = json.loads(Path(args.spec).read_text())
-    except OSError as exc:
-        print(f"error: cannot read sweep spec {args.spec}: {exc}", file=sys.stderr)
+    if args.spec.lstrip().startswith("scenario://"):
+        # registry reference: fan a seeded corpus instead of a JSON spec
+        spec = {}
+        try:
+            sweep = scenario_corpus(args.spec, points=args.points,
+                                    name=args.name, seed=args.seed)
+        except SweepError as exc:
+            print(f"error: invalid scenario reference {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+    elif args.spec.lstrip().startswith("scenario:"):
+        print(f"error: malformed scenario reference {args.spec!r} "
+              "(expected scenario://name?param=value)", file=sys.stderr)
         return 2
-    except json.JSONDecodeError as exc:
-        print(f"error: {args.spec} is not valid JSON: {exc}", file=sys.stderr)
-        return 2
-    try:
-        name = spec["name"]
-        task = get_task(spec["task"])
-        if "axes" in spec:
-            sweep = Sweep.grid(name, task, spec["axes"],
-                               base=spec.get("base"), seed=spec.get("seed", 0))
-        elif "points" in spec:
-            sweep = Sweep(name, task, spec["points"], seed=spec.get("seed", 0))
-        else:
-            raise SweepError("spec needs an 'axes' grid or a 'points' list")
-    except (KeyError, TypeError, SweepError) as exc:
-        print(f"error: invalid sweep spec {args.spec}: {exc}", file=sys.stderr)
-        return 2
+    else:
+        try:
+            spec = json.loads(Path(args.spec).read_text())
+        except OSError as exc:
+            print(f"error: cannot read sweep spec {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.spec} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        try:
+            name = spec["name"]
+            task = get_task(spec["task"])
+            if "axes" in spec:
+                sweep = Sweep.grid(name, task, spec["axes"],
+                                   base=spec.get("base"), seed=spec.get("seed", 0))
+            elif "points" in spec:
+                sweep = Sweep(name, task, spec["points"], seed=spec.get("seed", 0))
+            else:
+                raise SweepError("spec needs an 'axes' grid or a 'points' list")
+        except (KeyError, TypeError, SweepError) as exc:
+            print(f"error: invalid sweep spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
     if args.resume and args.store is None:
         print("error: --resume needs --store DIR to resume from",
               file=sys.stderr)
@@ -546,9 +705,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _add_config_arg(p: argparse.ArgumentParser) -> None:
-    """Positional system config + hidden --config/--params spellings."""
+    """Positional system config + --scenario + hidden --config/--params."""
     p.add_argument("config", nargs="?", default=None,
                    help="path to a system JSON (see repro.core.config_io)")
+    p.add_argument("--scenario", default=None, metavar="NAME[?params]",
+                   help="registered scenario reference instead of a config "
+                        "(see 'repro scenarios list'); with neither, "
+                        "pal_decoder is the default")
     p.add_argument("--config", "--params", dest="config_opt", default=None,
                    help=argparse.SUPPRESS)
 
@@ -568,9 +731,10 @@ def _resolve_config(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             parser.error("give the system config either positionally or via "
                          "--config, not both")
         args.config = opt
-    if args.config is None:
-        parser.error("missing system config (positional CONFIG.json, or "
-                     "--config CONFIG.json)")
+    if args.config is not None and getattr(args, "scenario", None) is not None:
+        parser.error("give either a system config or --scenario, not both")
+    # neither config nor --scenario: _scenario_from_args defaults to the
+    # registry's pal_decoder entry
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -612,7 +776,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_config_arg(p)
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
-    p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    p.add_argument("--blocks", type=int, default=None,
+                   help="blocks per stream (default 4, or the scenario's "
+                        "own setting)")
     _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_metrics)
@@ -623,7 +789,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_config_arg(p)
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
-    p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    p.add_argument("--blocks", type=int, default=None,
+                   help="blocks per stream (default 4, or the scenario's "
+                        "own setting)")
     _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--uncalibrated", action="store_true",
@@ -636,10 +804,13 @@ def main(argv: list[str] | None = None) -> int:
         help="simulate a JSON config under a fault plan; recovery report",
     )
     _add_config_arg(p)
-    p.add_argument("--plan", required=True,
-                   help="path to a fault-plan JSON (see repro.sim.faults)")
+    p.add_argument("--plan", default=None,
+                   help="path to a fault-plan JSON (see repro.sim.faults); "
+                        "optional when the --scenario entry carries one")
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
-    p.add_argument("--blocks", type=int, default=4, help="blocks per stream")
+    p.add_argument("--blocks", type=int, default=None,
+                   help="blocks per stream (default 4, or the scenario's "
+                        "own setting)")
     _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_faults)
@@ -650,23 +821,65 @@ def main(argv: list[str] | None = None) -> int:
              "with runtime reconfiguration",
     )
     _add_config_arg(p)
-    p.add_argument("--plan", required=True,
-                   help="path to a churn/fault-plan JSON (see repro.sim.faults)")
+    p.add_argument("--plan", default=None,
+                   help="path to a churn/fault-plan JSON (see "
+                        "repro.sim.faults); optional when the --scenario "
+                        "entry carries churn")
     p.add_argument("--spares", type=int, default=0,
                    help="dormant spare accelerator tiles for failover")
     p.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
-    p.add_argument("--blocks", type=int, default=8, help="blocks per stream")
+    p.add_argument("--blocks", type=int, default=None,
+                   help="blocks per stream (default 8, or the scenario's "
+                        "own setting)")
     _add_max_cycles_arg(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_reconfig)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="list/describe/run entries of the scenario registry "
+             "(repro.app.scenarios)",
+    )
+    ssub = p.add_subparsers(dest="action", required=True)
+    sp = ssub.add_parser("list", help="one line per registered scenario")
+    sp.set_defaults(fn=cmd_scenarios)
+    sp = ssub.add_parser("describe",
+                         help="name, tags and parameter schema of one entry")
+    sp.add_argument("name", help="registered scenario name")
+    sp.set_defaults(fn=cmd_scenarios)
+    sp = ssub.add_parser(
+        "run",
+        help="build and simulate one entry; exit 0 only on zero "
+             "unattributed Eq. 2-5 violations",
+    )
+    sp.add_argument("name", metavar="NAME[?params]",
+                    help="scenario reference, e.g. product_cipher or "
+                         "generated?seed=7")
+    sp.add_argument("--blocks", type=int, default=None,
+                    help="override the scenario's blocks per stream")
+    sp.add_argument("--backend", choices=("scipy", "bnb"), default="scipy")
+    _add_max_cycles_arg(sp)
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable 'run' report envelope")
+    sp.set_defaults(fn=cmd_scenarios)
 
     p = sub.add_parser(
         "sweep",
         help="run a parameter-sweep spec over worker processes "
              "(repro.exp); writes BENCH_<name>.json",
     )
-    p.add_argument("spec", help="path to a sweep-spec JSON "
-                                "(name, task, axes/points, base, seed)")
+    p.add_argument("spec", help="path to a sweep-spec JSON (name, task, "
+                                "axes/points, base, seed), or a "
+                                "scenario://name?params registry reference "
+                                "to fan a seeded corpus")
+    p.add_argument("--points", type=int, default=25,
+                   help="corpus size for a scenario:// reference "
+                        "(ignored for JSON specs)")
+    p.add_argument("--name", default=None,
+                   help="artifact name for a scenario:// corpus "
+                        "(default scenario_corpus_<scenario>)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep root seed for a scenario:// corpus")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes (default: min(4, cpu count))")
     p.add_argument("--serial", action="store_true",

@@ -9,6 +9,16 @@ from .audio import (
     tone_snr,
 )
 from .base import KernelError, StreamKernel, run_kernel
+from .cipher import (
+    KeyMixKernel,
+    PermuteBlockKernel,
+    SBoxKernel,
+    block_permutation,
+    invert_table,
+    product_decrypt,
+    product_encrypt,
+    sbox_table,
+)
 from .cordic import (
     CORDIC_ITERATIONS,
     CordicKernel,
@@ -29,10 +39,14 @@ __all__ = [
     "FMDiscriminatorKernel",
     "FirDecimatorKernel",
     "KernelError",
+    "KeyMixKernel",
     "MixerKernel",
     "PAPER_TAPS",
     "PalChannelPlan",
+    "PermuteBlockKernel",
+    "SBoxKernel",
     "StreamKernel",
+    "block_permutation",
     "cordic_gain",
     "cordic_rotate",
     "cordic_vector",
@@ -40,9 +54,13 @@ __all__ = [
     "design_lowpass",
     "fir_decimate_batch",
     "fm_demod_batch",
+    "invert_table",
     "make_test_tones",
     "mix_batch",
     "normalize_fm_output",
+    "product_decrypt",
+    "product_encrypt",
+    "sbox_table",
     "reconstruct_stereo",
     "run_kernel",
     "synthesize_pal_baseband",

@@ -28,9 +28,21 @@ returns a :class:`RunResult` carrying metrics, conformance, fault recovery
 and reconfiguration views plus the unified report schema of
 :mod:`repro.core.config_io`.
 
+The canonical way to *name* a scenario is the registry
+(:mod:`repro.app.scenarios`)::
+
+    Scenario.from_registry("product_cipher", sessions=4)
+    load_scenario("scenario://generated?seed=42")
+
+Both spellings construct the same validated objects as the explicit
+builder; ``load_scenario`` still accepts system-JSON paths and text for
+raw :class:`~repro.core.params.GatewaySystem` descriptions.
+
 The old entry points remain supported; :func:`simulate` is a thin
 deprecation shim with the exact ``simulate_system`` signature for call
-sites migrating incrementally.
+sites migrating incrementally, and constructing ``Scenario()`` without a
+system (the old PAL-implicit path) warns and resolves through the
+registry's ``pal_decoder`` entry for one more release.
 """
 
 from __future__ import annotations
@@ -61,9 +73,13 @@ class Scenario:
     Parameters mirror :func:`repro.arch.harness.simulate_system`; the
     builder methods exist so call sites read as a sentence and unset fields
     keep their defaults.
+
+    Constructing a ``Scenario`` without a system is deprecated: it
+    implicitly selects the PAL decoder, which predates the scenario
+    registry.  Spell it :meth:`from_registry` instead.
     """
 
-    system: GatewaySystem
+    system: GatewaySystem | None = None
     blocks: int = 4
     backend: str = "scipy"
     faults: FaultPlan | None = None
@@ -74,7 +90,37 @@ class Scenario:
     poll_interval: int = 1
     trace: bool = True
     trace_mode: str = "full"
+    trace_capacity: int | None = None
     context_mode: str = "software"
+    no_fastpath: bool = False
+
+    def __post_init__(self) -> None:
+        if self.system is None:
+            warnings.warn(
+                "constructing a Scenario without a system implicitly selects "
+                "the PAL decoder; use Scenario.from_registry('pal_decoder') "
+                "(this shim will be removed next release)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            from .app.scenarios import get
+
+            object.__setattr__(
+                self, "system", get("pal_decoder").build().system
+            )
+
+    # -- registry front door ---------------------------------------------
+    @classmethod
+    def from_registry(cls, name: str, **params: Any) -> "Scenario":
+        """Build a registered scenario by name (see :mod:`repro.app.scenarios`).
+
+        ``name`` may carry URI-style parameters (``"generated?seed=3"`` or
+        the full ``scenario://`` form); keyword ``params`` are validated
+        against the entry's schema with did-you-mean errors.
+        """
+        from .app.scenarios import build_scenario
+
+        return build_scenario(name, **params)
 
     # -- builder steps ---------------------------------------------------
     # every step validates eagerly: a bad value must fail at the call that
@@ -128,9 +174,22 @@ class Scenario:
                 )
         return replace(self, max_cycles=max_cycles)
 
-    def with_trace(self, trace: bool, mode: str = "full") -> "Scenario":
-        """Toggle the structured tracer (and its ring/aggregate mode)."""
-        return replace(self, trace=trace, trace_mode=mode)
+    def with_trace(
+        self, trace: bool, mode: str = "full", capacity: int | None = None
+    ) -> "Scenario":
+        """Toggle the structured tracer (mode, and ring capacity in events)."""
+        if capacity is not None:
+            capacity = int(capacity)
+            if capacity < 1:
+                raise ParameterError(
+                    f"trace capacity must be >= 1 (or None), got {capacity}"
+                )
+        return replace(self, trace=trace, trace_mode=mode,
+                       trace_capacity=capacity)
+
+    def with_no_fastpath(self, no_fastpath: bool = True) -> "Scenario":
+        """Disable the ring's fused fast path for this run (differential use)."""
+        return replace(self, no_fastpath=bool(no_fastpath))
 
     def with_block_sizes(self, sizes: dict[str, int]) -> "Scenario":
         """Pin block sizes instead of solving Algorithm 1 at build time.
@@ -183,12 +242,14 @@ class Scenario:
             "blocks": self.blocks,
             "trace": self.trace,
             "trace_mode": self.trace_mode,
+            "trace_capacity": self.trace_capacity,
             "poll_interval": self.poll_interval,
             "context_mode": self.context_mode,
             "faults": self.faults,
             "watchdog": self.watchdog,
             "admission": self.admission,
             "spares": self.spares,
+            "no_fastpath": self.no_fastpath,
         }
         if self.max_cycles is not None:
             kwargs["max_cycles"] = self.max_cycles
@@ -202,7 +263,14 @@ class Scenario:
 
 
 def load_scenario(source: str | Path) -> Scenario:
-    """Build a :class:`Scenario` from a system-JSON file path or JSON text."""
+    """Build a :class:`Scenario` from a registry URI, JSON path or JSON text.
+
+    ``scenario://name?param=value`` references resolve through the
+    :mod:`repro.app.scenarios` registry; anything else is treated as a
+    system-JSON file path (or inline JSON text) exactly as before.
+    """
+    if isinstance(source, str) and source.lstrip().startswith("scenario://"):
+        return Scenario.from_registry(source.strip())
     text = source
     if isinstance(source, Path) or (
         isinstance(source, str) and not source.lstrip().startswith("{")
@@ -267,6 +335,18 @@ class RunResult:
     def fault_report(self) -> dict:
         return self.run.fault_report()
 
+    @property
+    def clean(self) -> bool:
+        """Zero *unattributed* Eq. 2–5 violations.
+
+        ``True`` when every conformance violation (per-mode-window in churn
+        runs) is explained by an injected fault or an executed transition.
+        A fault-free static run is ``clean`` iff it has no violations at
+        all — this is the gate the scenario generator, the fuzz sweep and
+        the ``repro scenarios run`` exit code all share.
+        """
+        return self.attributed_conformance().fully_attributed
+
     # -- unified report schema -------------------------------------------
     def report(self, kind: str = "run", calibrated: bool = True) -> dict[str, Any]:
         """The run as a versioned ``repro.report`` envelope.
@@ -282,7 +362,7 @@ class RunResult:
         if kind == "conformance":
             return make_report("conformance", {
                 "horizon": self.horizon,
-                **self.conformance(calibrated=calibrated).to_dict(),
+                **self._conformance_body(calibrated),
             })
         if kind == "faults":
             return make_report("faults", {
@@ -297,7 +377,7 @@ class RunResult:
                 "'run', 'metrics', 'conformance', 'faults', 'reconfig'"
             )
         body = self._metrics_body()
-        body["conformance"] = self.conformance(calibrated=calibrated).to_dict()
+        body["conformance"] = self._conformance_body(calibrated)
         if self.solver is not None:
             body["solver"] = {
                 "backend": self.solver.backend,
@@ -313,6 +393,19 @@ class RunResult:
             ]
             body["remaps"] = [list(r) for r in self.chain.remaps]
         return make_report("run", body)
+
+    def _conformance_body(self, calibrated: bool) -> dict[str, Any]:
+        """Conformance section for the ``"run"``/``"conformance"`` reports.
+
+        Static runs check against the solved model directly.  Churn runs
+        must use the per-mode merged view: after an online re-solve the
+        static model's block sizes are stale, and checking the final
+        metrics against them is meaningless (and raises on any stream
+        whose η changed mid-run).  Both views share the same keys.
+        """
+        if self.reconfig is not None:
+            return self.mode_conformance(calibrated=calibrated).merged().to_dict()
+        return self.conformance(calibrated=calibrated).to_dict()
 
     def _metrics_body(self) -> dict[str, Any]:
         return {
@@ -340,20 +433,38 @@ class RunResult:
         }
 
 
+#: simulate_system keyword -> Scenario field (identical spellings today,
+#: kept as a map so the shim fails loudly if the surfaces ever drift)
+_SIMULATE_FIELDS = frozenset({
+    "blocks", "trace", "trace_mode", "trace_capacity", "poll_interval",
+    "context_mode", "faults", "watchdog", "admission", "max_cycles",
+    "spares",
+})
+
+
 def simulate(system: GatewaySystem, **kwargs: Any):
     """Deprecated shim: old-style direct simulation call.
 
     Kept so pre-facade call sites (``from repro.api import simulate``)
-    migrate incrementally; new code should use :class:`Scenario`.  Accepts
-    exactly the :func:`repro.arch.harness.simulate_system` keyword surface
-    and returns the raw :class:`~repro.arch.harness.SimulationRun`.
+    migrate incrementally.  Accepts the
+    :func:`repro.arch.harness.simulate_system` keyword surface, routes the
+    run through the :class:`Scenario` facade and returns the raw
+    :class:`~repro.arch.harness.SimulationRun`.  New code should build a
+    :class:`Scenario` and keep the :class:`RunResult`.
     """
     warnings.warn(
-        "repro.api.simulate() is a compatibility shim; build a "
-        "repro.api.Scenario instead",
+        "repro.api.simulate(system, ...) is deprecated; use "
+        "repro.api.Scenario(system).build() (the SimulationRun stays "
+        "reachable as RunResult.run)",
         DeprecationWarning,
         stacklevel=2,
     )
-    from .arch.harness import simulate_system
-
-    return simulate_system(system, **kwargs)
+    # parity with simulate_system: block sizes must already be assigned —
+    # the facade would silently solve Algorithm 1, the old entry point errors
+    system.require_block_sizes()
+    unknown = set(kwargs) - _SIMULATE_FIELDS - {"no_fastpath"}
+    if unknown:
+        raise TypeError(
+            f"simulate() got unexpected keyword argument(s) {sorted(unknown)}"
+        )
+    return replace(Scenario(system), **kwargs).build().run

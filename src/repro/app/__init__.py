@@ -1,4 +1,5 @@
-"""The PAL stereo audio decoder application (paper Section VI)."""
+"""Applications: the PAL stereo decoder (paper Section VI), the product
+cipher chain, and the named-scenario registry fronting both."""
 
 from .analysis_bridge import PAPER_BLOCK_SIZES, pal_block_sizes, pal_gateway_system
 from .pal_decoder import (
@@ -8,14 +9,48 @@ from .pal_decoder import (
     decode_functional,
     run_pal_on_soc,
 )
+from .product_cipher import (
+    ProductCipherConfig,
+    build_cipher_soc,
+    cipher_gateway_system,
+    encrypt_functional,
+    run_cipher_on_soc,
+)
+from .scenarios import (
+    ScenarioDefinition,
+    ScenarioError,
+    build_scenario,
+    format_ref,
+    generate,
+    parse_ref,
+    register,
+)
+from .scenarios import describe as describe_scenario
+from .scenarios import get as get_scenario
+from .scenarios import names as scenario_names
 
 __all__ = [
     "PAPER_BLOCK_SIZES",
     "PalDecoderConfig",
     "PalSocHandles",
+    "ProductCipherConfig",
+    "ScenarioDefinition",
+    "ScenarioError",
+    "build_cipher_soc",
     "build_pal_soc",
+    "build_scenario",
+    "cipher_gateway_system",
     "decode_functional",
+    "describe_scenario",
+    "encrypt_functional",
+    "format_ref",
+    "generate",
+    "get_scenario",
     "pal_block_sizes",
     "pal_gateway_system",
+    "parse_ref",
+    "register",
+    "run_cipher_on_soc",
     "run_pal_on_soc",
+    "scenario_names",
 ]

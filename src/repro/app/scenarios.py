@@ -1,0 +1,652 @@
+"""Named-scenario registry and seeded workload generator.
+
+The canonical front door for everything runnable: each entry is a named,
+parameter-schema'd builder returning a ready :class:`repro.api.Scenario`,
+so the facade, the CLI and the sweep engine all construct workloads the
+same way::
+
+    from repro.api import Scenario
+    Scenario.from_registry("product_cipher", sessions=4)
+    load_scenario("scenario://generated?seed=42")
+    python -m repro scenarios run multi_mode
+
+Registered entries (see :func:`names` / ``repro scenarios list``):
+
+* ``pal_decoder`` — the paper's PAL stereo decoder, re-registered from
+  :func:`repro.app.analysis_bridge.pal_gateway_system` without behaviour
+  change (test-scale 64/8 block sizes by default; ``eta_stage1=0`` defers
+  to Algorithm 1),
+* ``product_cipher`` — the heterogeneous key-mix → S-box → permute chain
+  of :mod:`repro.app.product_cipher`,
+* ``multi_mode`` — an adaptive multi-mode family: a churn schedule joins
+  and leaves per-mode streams with mode-dependent rates and transition
+  delays, driving the online-reconfiguration path,
+* ``generated`` — :func:`generate`: a seeded random scenario over chain
+  length, stream count, rate distributions and churn schedules.  Every
+  output must run through conformance with **zero unattributed Eq. 2–5
+  violations**; the fuzz sweep (``repro sweep scenario://generated?...``)
+  and the CI smoke gate enforce exactly that.
+
+Validation is eager and ``config_io``-style: unknown scenario names and
+unknown/ill-typed parameters fail at lookup with a did-you-mean hint, not
+deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from difflib import get_close_matches
+from fractions import Fraction
+from typing import Any, Callable, Mapping, Sequence
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..core.params import (
+    AcceleratorSpec,
+    GatewaySystem,
+    ParameterError,
+    StreamSpec,
+)
+from ..sim.faults import STREAM_JOIN, STREAM_LEAVE, FaultPlan, FaultSpec
+
+__all__ = [
+    "ScenarioError",
+    "Param",
+    "ScenarioDefinition",
+    "register",
+    "names",
+    "get",
+    "describe",
+    "build_scenario",
+    "parse_ref",
+    "format_ref",
+    "generate",
+    "SCHEME",
+]
+
+#: URI scheme the registry answers to (``scenario://name?param=value``)
+SCHEME = "scenario"
+
+
+class ScenarioError(ParameterError):
+    """Raised for unknown scenarios or invalid scenario parameters."""
+
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class Param:
+    """One knob of a registered scenario: typed, bounded, documented."""
+
+    name: str
+    type: type = int
+    default: Any = None
+    doc: str = ""
+    minimum: int | float | None = None
+    maximum: int | float | None = None
+    choices: tuple[Any, ...] | None = None
+
+    def coerce(self, value: Any) -> Any:
+        """Validate ``value`` (possibly a URI query string) into the type."""
+        if isinstance(value, str) and self.type is not str:
+            try:
+                if self.type is bool:
+                    lowered = value.strip().lower()
+                    if lowered in _TRUE:
+                        value = True
+                    elif lowered in _FALSE:
+                        value = False
+                    else:
+                        raise ValueError(f"not a boolean: {value!r}")
+                else:
+                    value = self.type(value)
+            except ValueError as err:
+                raise ScenarioError(
+                    f"parameter {self.name!r}: cannot parse {value!r} as "
+                    f"{self.type.__name__} ({err})"
+                ) from err
+        if self.type is bool:
+            if not isinstance(value, bool):
+                raise ScenarioError(
+                    f"parameter {self.name!r}: expected bool, "
+                    f"got {type(value).__name__}"
+                )
+        elif self.type is float and isinstance(value, int):
+            value = float(value)
+        elif not isinstance(value, self.type) or isinstance(value, bool):
+            raise ScenarioError(
+                f"parameter {self.name!r}: expected {self.type.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ScenarioError(
+                f"parameter {self.name!r}: {value!r} is below the minimum "
+                f"{self.minimum}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise ScenarioError(
+                f"parameter {self.name!r}: {value!r} is above the maximum "
+                f"{self.maximum}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ScenarioError(
+                f"parameter {self.name!r}: {value!r} is not one of "
+                f"{list(self.choices)}"
+            )
+        return value
+
+    def describe(self) -> str:
+        limits = []
+        if self.minimum is not None or self.maximum is not None:
+            lo = self.minimum if self.minimum is not None else ""
+            hi = self.maximum if self.maximum is not None else ""
+            limits.append(f"[{lo}..{hi}]")
+        if self.choices is not None:
+            limits.append(f"one of {list(self.choices)}")
+        extra = (" " + " ".join(limits)) if limits else ""
+        return (f"{self.name} ({self.type.__name__}, "
+                f"default {self.default!r}{extra}) — {self.doc}")
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """A registered scenario: name, description, schema and builder."""
+
+    name: str
+    description: str
+    params: tuple[Param, ...]
+    builder: Callable[..., Any] = field(repr=False)
+    tags: tuple[str, ...] = ()
+
+    @property
+    def schema(self) -> dict[str, Param]:
+        return {p.name: p for p in self.params}
+
+    def validate(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
+        """Defaults merged over ``overrides``, each coerced to its schema.
+
+        Unknown parameter names are rejected eagerly with a did-you-mean
+        hint, exactly like :func:`repro.core.config_io.system_from_dict`
+        rejects misspelled system keys.
+        """
+        schema = self.schema
+        unknown = set(overrides) - set(schema)
+        if unknown:
+            hints = []
+            for key in sorted(unknown):
+                close = get_close_matches(str(key), sorted(schema), n=1)
+                if close:
+                    hints.append(f"did you mean {close[0]!r} instead of {key!r}?")
+            hint = (" " + " ".join(hints)) if hints else ""
+            raise ScenarioError(
+                f"scenario {self.name!r} has no parameter(s) {sorted(unknown)} "
+                f"(expected a subset of {sorted(schema)}).{hint}"
+            )
+        values = {p.name: p.default for p in self.params}
+        for key, value in overrides.items():
+            values[key] = schema[key].coerce(value)
+        return values
+
+    def build(self, **overrides: Any):
+        """Build the validated :class:`repro.api.Scenario` this entry names."""
+        return self.builder(**self.validate(overrides))
+
+    def describe(self) -> str:
+        lines = [f"{self.name} — {self.description}"]
+        if self.tags:
+            lines.append(f"  tags: {', '.join(self.tags)}")
+        if self.params:
+            lines.append("  parameters:")
+            for p in self.params:
+                lines.append(f"    {p.describe()}")
+        else:
+            lines.append("  parameters: (none)")
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, ScenarioDefinition] = {}
+
+
+def register(
+    name: str,
+    *,
+    description: str,
+    params: Sequence[Param] = (),
+    tags: Sequence[str] = (),
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: register a builder function as a named scenario.
+
+    The builder receives every schema parameter as a keyword argument
+    (defaults already merged and validated) and must return a
+    :class:`repro.api.Scenario`.
+    """
+    if not name or not name.replace("_", "a").isalnum():
+        raise ScenarioError(
+            f"scenario name must be a non-empty alphanumeric/underscore "
+            f"string, got {name!r}"
+        )
+    seen: set[str] = set()
+    for p in params:
+        if p.name in seen:
+            raise ScenarioError(
+                f"scenario {name!r}: duplicate parameter {p.name!r}"
+            )
+        seen.add(p.name)
+
+    def decorator(builder: Callable[..., Any]) -> Callable[..., Any]:
+        if name in _REGISTRY:
+            raise ScenarioError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioDefinition(
+            name=name,
+            description=description,
+            params=tuple(params),
+            builder=builder,
+            tags=tuple(tags),
+        )
+        return builder
+
+    return decorator
+
+
+def names() -> list[str]:
+    """Every registered scenario name, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> ScenarioDefinition:
+    """Look up a registered scenario (did-you-mean on a miss)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        close = get_close_matches(name, sorted(_REGISTRY), n=2)
+        hint = f"; did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
+        raise ScenarioError(
+            f"unknown scenario {name!r} (registered: {', '.join(names())})"
+            f"{hint}"
+        ) from None
+
+
+def describe(name: str) -> str:
+    """Human-readable description of one registered scenario."""
+    return get(name).describe()
+
+
+def parse_ref(ref: str) -> tuple[str, dict[str, str]]:
+    """Split a scenario reference into ``(name, raw_params)``.
+
+    Accepts ``name``, ``name?seed=3&streams=2`` and the full
+    ``scenario://name?...`` URI form.  Parameter values stay strings; the
+    schema coerces them at :meth:`ScenarioDefinition.validate` time.
+    """
+    text = ref.strip()
+    if "://" in text:
+        split = urlsplit(text)
+        if split.scheme != SCHEME:
+            raise ScenarioError(
+                f"unsupported scenario URI scheme {split.scheme!r} in {ref!r} "
+                f"(expected {SCHEME}://name?param=value)"
+            )
+        # urlsplit parses the name as the netloc; a trailing path would be
+        # a stray '/' the user probably didn't mean
+        name = unquote(split.netloc)
+        if split.path not in ("", "/"):
+            raise ScenarioError(
+                f"malformed scenario URI {ref!r}: unexpected path "
+                f"{split.path!r} after the scenario name"
+            )
+        query = split.query
+    elif "?" in text:
+        name, _, query = text.partition("?")
+    else:
+        name, query = text, ""
+    name = name.strip()
+    if not name:
+        raise ScenarioError(f"scenario reference {ref!r} names no scenario")
+    params: dict[str, str] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key in params:
+            raise ScenarioError(
+                f"scenario reference {ref!r} repeats parameter {key!r}"
+            )
+        params[key] = value
+    return name, params
+
+
+def format_ref(name: str, params: Mapping[str, Any] | None = None) -> str:
+    """The canonical ``scenario://`` URI for a (name, params) pair."""
+    query = "&".join(f"{k}={params[k]}" for k in params) if params else ""
+    return f"{SCHEME}://{name}" + (f"?{query}" if query else "")
+
+
+def build_scenario(ref: str, **overrides: Any):
+    """Build a scenario from a name or reference, plus keyword overrides.
+
+    ``ref`` may carry query parameters (``"generated?seed=3"``); explicit
+    keyword overrides win over reference parameters, and a conflict between
+    the two spellings of the same parameter is rejected rather than
+    silently resolved.
+    """
+    name, ref_params = parse_ref(ref)
+    clash = sorted(set(ref_params) & set(overrides))
+    if clash:
+        raise ScenarioError(
+            f"parameter(s) {clash} given both in the reference {ref!r} and "
+            f"as keyword overrides; pick one spelling"
+        )
+    merged = {**ref_params, **overrides}
+    return get(name).build(**merged)
+
+
+# ---------------------------------------------------------------------------
+# Registered scenarios
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "pal_decoder",
+    description=(
+        "the paper's PAL stereo decoder: four streams (2 channels x 2 "
+        "stages, 8:1 rate split) sharing the CORDIC + FIR chain"
+    ),
+    params=(
+        Param("audio_rate", int, 44_100, "audio output rate in Hz", minimum=1),
+        Param("clock_hz", int, 100_000_000, "system clock in Hz", minimum=1),
+        Param("reconfigure", int, 4100, "context-switch cost R_s in cycles",
+              minimum=0),
+        Param("entry_copy", int, 15, "entry-gateway cycles per sample",
+              minimum=1),
+        Param("exit_copy", int, 1, "exit-gateway cycles per sample", minimum=1),
+        Param("margin_ppm", int, 0, "rate margin in ppm (1270 reproduces the "
+              "paper's exact block sizes)", minimum=0),
+        Param("eta_stage1", int, 64, "stage-1 block size; 0 = solve via "
+              "Algorithm 1", minimum=0),
+        Param("eta_stage2", int, 8, "stage-2 block size; 0 = solve via "
+              "Algorithm 1", minimum=0),
+    ),
+    tags=("paper", "real-app"),
+)
+def _pal_decoder_scenario(
+    audio_rate: int,
+    clock_hz: int,
+    reconfigure: int,
+    entry_copy: int,
+    exit_copy: int,
+    margin_ppm: int,
+    eta_stage1: int,
+    eta_stage2: int,
+):
+    from ..api import Scenario
+    from .analysis_bridge import pal_gateway_system
+
+    system = pal_gateway_system(
+        audio_rate=audio_rate,
+        clock_hz=clock_hz,
+        reconfigure=reconfigure,
+        entry_copy=entry_copy,
+        exit_copy=exit_copy,
+        rate_margin=Fraction(1) + Fraction(margin_ppm, 1_000_000),
+    )
+    if (eta_stage1 == 0) != (eta_stage2 == 0):
+        raise ScenarioError(
+            "eta_stage1 and eta_stage2 must both be pinned or both be 0 "
+            "(Algorithm 1 solves all streams together)"
+        )
+    if eta_stage1:
+        system = system.with_block_sizes({
+            "ch1.s1": eta_stage1, "ch2.s1": eta_stage1,
+            "ch1.s2": eta_stage2, "ch2.s2": eta_stage2,
+        })
+    return Scenario(system)
+
+
+@register(
+    "product_cipher",
+    description=(
+        "heterogeneous product-cipher pipeline: N sessions sharing the "
+        "key-mix -> S-box -> permute chain (rho_permute = 2)"
+    ),
+    params=(
+        Param("sessions", int, 3, "independent cipher sessions", minimum=1,
+              maximum=16),
+        Param("eta", int, 24, "session block size; 0 = solve via Algorithm 1",
+              minimum=0),
+        Param("width", int, 8, "transposition width (eta must divide by it)",
+              minimum=1, maximum=64),
+        Param("load_pct", int, 30, "aggregate Eq. 5 load across sessions",
+              minimum=1, maximum=90),
+        Param("reconfigure", int, 300, "context-switch cost in cycles "
+              "(dominated by the 256-word S-box)", minimum=0),
+        Param("entry_copy", int, 4, "entry-gateway cycles per sample",
+              minimum=1),
+        Param("exit_copy", int, 1, "exit-gateway cycles per sample", minimum=1),
+        Param("sbox_seed", int, 7, "seed of the per-session S-box tables"),
+    ),
+    tags=("real-app",),
+)
+def _product_cipher_scenario(
+    sessions: int,
+    eta: int,
+    width: int,
+    load_pct: int,
+    reconfigure: int,
+    entry_copy: int,
+    exit_copy: int,
+    sbox_seed: int,
+):
+    from ..api import Scenario
+    from .product_cipher import ProductCipherConfig, cipher_gateway_system
+
+    config = ProductCipherConfig(
+        sessions=sessions,
+        eta=eta if eta else width,
+        width=width,
+        load_pct=load_pct,
+        reconfigure_cycles=reconfigure,
+        entry_copy=entry_copy,
+        exit_copy=exit_copy,
+        sbox_seed=sbox_seed,
+    )
+    system = cipher_gateway_system(config)
+    if eta == 0:
+        system = GatewaySystem(
+            accelerators=system.accelerators,
+            streams=tuple(
+                StreamSpec(s.name, s.throughput, s.reconfigure)
+                for s in system.streams
+            ),
+            entry_copy=system.entry_copy,
+            exit_copy=system.exit_copy,
+            ni_capacity=system.ni_capacity,
+        )
+    return Scenario(system)
+
+
+@register(
+    "multi_mode",
+    description=(
+        "adaptive multi-mode graph: per-mode streams join and leave on a "
+        "churn schedule with mode-dependent rates and transition delays, "
+        "exercising online reconfiguration"
+    ),
+    params=(
+        Param("streams", int, 2, "always-on base streams", minimum=1, maximum=8),
+        Param("modes", int, 3, "transient per-mode streams (each joins, then "
+              "leaves half a period later)", minimum=1, maximum=8),
+        Param("period", int, 2500, "cycles between mode onsets", minimum=200),
+        Param("load_pct", int, 25, "aggregate base load", minimum=1, maximum=80),
+        Param("rate_step_pct", int, 40, "per-mode rate growth: mode k joins at "
+              "base*(1 + k*step/100)", minimum=0, maximum=400),
+        Param("reconfigure", int, 120, "base context-switch cost; mode k's "
+              "transition delay scales with k", minimum=0),
+        Param("entry_copy", int, 6, "entry-gateway cycles per sample", minimum=1),
+        Param("eta", int, 8, "base-stream block size", minimum=1),
+        Param("blocks", int, 4, "blocks per stream before the run completes",
+              minimum=1),
+    ),
+    tags=("churn", "family"),
+)
+def _multi_mode_scenario(
+    streams: int,
+    modes: int,
+    period: int,
+    load_pct: int,
+    rate_step_pct: int,
+    reconfigure: int,
+    entry_copy: int,
+    eta: int,
+    blocks: int,
+):
+    from ..api import Scenario
+
+    c0 = max(entry_copy, 1)
+    # base streams share load_pct; each transient mode stream adds a slice
+    # of the same order, scaled by its mode index — aggregate load stays
+    # well under 1 even with every mode resident
+    base_mu = Fraction(load_pct, 100 * c0 * (streams + modes))
+    base = tuple(
+        StreamSpec(f"base{i}", base_mu, reconfigure, block_size=eta)
+        for i in range(streams)
+    )
+    system = GatewaySystem(
+        accelerators=(AcceleratorSpec("acc", 1),),
+        streams=base,
+        entry_copy=entry_copy,
+        exit_copy=1,
+    )
+    specs = []
+    for k in range(modes):
+        mu_k = base_mu * Fraction(100 + k * rate_step_pct, 100)
+        at_join = (k + 1) * period
+        specs.append(FaultSpec(
+            kind=STREAM_JOIN,
+            at=at_join,
+            target=f"mode{k}",
+            params={
+                "throughput": [mu_k.numerator, mu_k.denominator],
+                # mode-dependent transition delay: later modes carry more
+                # state and cost more to switch in
+                "reconfigure": reconfigure * (k + 1),
+            },
+        ))
+        specs.append(FaultSpec(
+            kind=STREAM_LEAVE,
+            at=at_join + period // 2,
+            target=f"mode{k}",
+        ))
+    plan = FaultPlan(specs=tuple(specs), seed=modes)
+    return Scenario(system).with_faults(plan).with_blocks(blocks)
+
+
+#: block sizes the generator pins (kept small so a corpus sweep stays fast)
+_GEN_ETAS = (2, 3, 4, 6, 8, 12, 16, 24)
+
+
+def generate(
+    seed: int = 0,
+    chain_max: int = 3,
+    streams_max: int = 4,
+    churn_pct: int = 50,
+    load_pct_max: int = 55,
+    blocks: int = 3,
+):
+    """Seeded random scenario: chain, streams, rates, churn schedule.
+
+    Deterministic per ``seed`` — the same seed always yields an identical
+    :class:`repro.api.Scenario` (system, fault plan and run length), which
+    is what lets a generated corpus participate in the sweep engine's
+    serial ≡ parallel digest identity.  Every output must pass conformance
+    with zero unattributed violations; the property suite and the
+    ``SCENARIO_FUZZ_SMOKE`` CI gate enforce it.
+    """
+    from ..api import Scenario
+
+    if chain_max < 1 or streams_max < 1:
+        raise ScenarioError("chain_max and streams_max must be >= 1")
+    rng = random.Random(int(seed))
+    n_acc = rng.randint(1, chain_max)
+    rhos = [rng.choice((1, 1, 2, 3)) for _ in range(n_acc)]
+    entry_copy = rng.randint(2, 12)
+    exit_copy = rng.randint(1, 3)
+    n_streams = rng.randint(1, streams_max)
+    load_pct = rng.randint(10, max(10, load_pct_max))
+    weights = [rng.randint(1, 5) for _ in range(n_streams)]
+    c0 = max(entry_copy, exit_copy, *rhos)
+    total_w = sum(weights)
+    pin = rng.random() < 0.7 or load_pct > 40
+    streams = tuple(
+        StreamSpec(
+            f"g{i}",
+            Fraction(load_pct * w, 100 * c0 * total_w),
+            rng.randrange(20, 400, 20),
+            block_size=rng.choice(_GEN_ETAS) if pin else None,
+        )
+        for i, w in enumerate(weights)
+    )
+    system = GatewaySystem(
+        accelerators=tuple(
+            AcceleratorSpec(f"acc{i}", rho) for i, rho in enumerate(rhos)
+        ),
+        streams=streams,
+        entry_copy=entry_copy,
+        exit_copy=exit_copy,
+    )
+    scenario = Scenario(system).with_blocks(blocks)
+
+    if rng.randint(1, 100) <= churn_pct:
+        specs: list[FaultSpec] = []
+        alive_joined: list[str] = []
+        joined = 0
+        at = rng.randrange(600, 2000, 50)
+        for _ in range(rng.randint(1, 3)):
+            if alive_joined and rng.random() < 0.4:
+                name = alive_joined.pop(rng.randrange(len(alive_joined)))
+                specs.append(FaultSpec(kind=STREAM_LEAVE, at=at, target=name))
+            else:
+                name = f"j{joined}"
+                joined += 1
+                mu = Fraction(rng.randint(1, 4),
+                              rng.choice((10_000, 20_000, 50_000)))
+                params: dict[str, Any] = {
+                    "throughput": [mu.numerator, mu.denominator],
+                    "reconfigure": rng.randrange(20, 200, 20),
+                }
+                if rng.random() < 0.5:
+                    params["block_size"] = rng.choice((2, 4, 8))
+                specs.append(FaultSpec(
+                    kind=STREAM_JOIN, at=at, target=name, params=params,
+                ))
+                alive_joined.append(name)
+            at += rng.randrange(400, 1500, 100)
+        scenario = scenario.with_faults(
+            FaultPlan(specs=tuple(specs), seed=int(seed) & 0x7FFFFFFF)
+        )
+    return scenario
+
+
+@register(
+    "generated",
+    description=(
+        "seeded random scenario over chain length, stream count, rate "
+        "distributions and churn schedules; deterministic per seed and "
+        "conformance-clean by construction"
+    ),
+    params=(
+        Param("seed", int, 0, "generator seed (the whole scenario derives "
+              "from it)"),
+        Param("chain_max", int, 3, "maximum accelerators in the shared chain",
+              minimum=1, maximum=6),
+        Param("streams_max", int, 4, "maximum multiplexed streams", minimum=1,
+              maximum=8),
+        Param("churn_pct", int, 50, "probability (percent) of a churn "
+              "schedule", minimum=0, maximum=100),
+        Param("load_pct_max", int, 55, "upper bound on the aggregate Eq. 5 "
+              "load", minimum=10, maximum=80),
+        Param("blocks", int, 3, "blocks per stream before the run completes",
+              minimum=1),
+    ),
+    tags=("generator", "fuzz"),
+)
+def _generated_scenario(**knobs: Any):
+    return generate(**knobs)

@@ -565,15 +565,29 @@ def attribute_modal_conformance(
     The per-mode sliced spans index each violation's ``block_index`` into
     the right timestamps; the merged result carries every mode's streams,
     so ``fully_attributed`` covers the whole churn run.
+
+    Each mode's ``pad`` is widened by the transition gap separating it from
+    the previous window (windows cover steady state only — the quiesce →
+    reprogram interval falls between them).  A first-block violation right
+    after a transition is then explained by an event that fired inside that
+    gap: the transition itself, or a fault landing mid-switch.  Generated
+    multi-mode scenarios lean on this — their churn schedules make
+    gap-straddling violations routine rather than exceptional.
     """
     injected = tuple(events)
     secondary = tuple(secondary)
     attributions: list[Attribution] = []
+    prev_end: int | None = None
     for mode in modal.modes:
+        gap = 0
+        if prev_end is not None and mode.window.start > prev_end:
+            gap = mode.window.start - prev_end
         partial = attribute_conformance(
-            mode.report, injected, mode.spans, pad=pad, secondary=secondary
+            mode.report, injected, mode.spans, pad=pad + gap,
+            secondary=secondary,
         )
         attributions.extend(partial.attributions)
+        prev_end = mode.window.end
     return AttributedReport(
         report=modal.merged(),
         attributions=tuple(attributions),
@@ -699,7 +713,12 @@ def attribute_conformance(
     :class:`~repro.arch.gateway.StreamBinding` qualifies) or a plain
     ``(admissions, completions)`` pair.  A fault explains a violation when
     it fired inside the violation's observation window, widened by ``pad``
-    cycles on the low side (faults propagate forward in time only).
+    cycles on the low side (faults propagate forward in time only).  An
+    event spanning an interval — a reconfiguration transition carries
+    ``"until"`` (its completion time) alongside ``"time"`` (its request) —
+    matches when the *interval* overlaps the window, so a transition that
+    started before a window but completed inside it still explains the
+    violations it caused.
 
     ``secondary`` events (e.g. recovery-log records — a degrade/readmit
     pause is fault fallout, not a refinement bug) may also explain a
@@ -720,7 +739,8 @@ def attribute_conformance(
         lo, hi = violation_window(violation, admissions, completions)
         causes = tuple(
             e for e in candidates
-            if e["time"] >= lo - pad and (hi is None or e["time"] <= hi)
+            if e.get("until", e["time"]) >= lo - pad
+            and (hi is None or e["time"] <= hi)
         )
         attributions.append(
             Attribution(violation=violation, window=(lo, hi), causes=causes)

@@ -49,7 +49,13 @@ from .executors import (
 )
 from .runner import ChunkRunner, retry_delay
 from .store import ResultStore, StoreMismatch, point_key, sweep_fingerprint
-from .sweep import Sweep, SweepError, SweepPoint, point_seed
+from .sweep import (
+    Sweep,
+    SweepError,
+    SweepPoint,
+    point_seed,
+    scenario_corpus,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -78,6 +84,7 @@ __all__ = [
     "retry_delay",
     "run_chaos_sweep",
     "run_sweep",
+    "scenario_corpus",
     "sweep_fingerprint",
     "tasks",
     "write_benchmark",

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-__all__ = ["Sweep", "SweepPoint", "SweepError", "point_seed"]
+__all__ = ["Sweep", "SweepPoint", "SweepError", "point_seed",
+           "scenario_corpus"]
 
 
 class SweepError(ValueError):
@@ -62,7 +63,11 @@ class Sweep:
     task:
         Module-level callable ``task(params, ctx) -> dict`` evaluated per
         point (``ctx`` is a :class:`repro.exp.engine.PointContext`).  Must
-        be picklable — lambdas and closures are rejected up front.
+        be picklable — lambdas and closures are rejected up front.  May
+        also be a string: a built-in task name from
+        :mod:`repro.exp.tasks`, or a ``scenario://`` registry reference
+        (which implies the ``"scenario"`` task with the reference's
+        validated parameters folded under every point's params).
     points:
         The points: :class:`SweepPoint` objects (seeds are re-derived),
         ``{"id": ..., "params": {...}}`` mappings (explicit ids — the JSON
@@ -85,6 +90,9 @@ class Sweep:
             )
         self.name = name
         self.seed = int(seed)
+        implied_base: Mapping[str, Any] = {}
+        if isinstance(task, str):
+            task, implied_base = _resolve_task_ref(task)
         self.task = _checked_task(task)
         built: list[SweepPoint] = []
         for i, p in enumerate(points):
@@ -108,6 +116,8 @@ class Sweep:
                     f"point #{i} must be a SweepPoint or a params mapping, "
                     f"got {type(p).__name__}"
                 )
+            if implied_base:
+                params = {**implied_base, **params}
             _check_params(pid, params)
             built.append(
                 SweepPoint(id=pid, params=params,
@@ -201,3 +211,75 @@ def _synth_id(params: Mapping[str, Any], index: int) -> str:
         return ",".join(f"{k}={params[k]}" for k in params)
     except Exception:  # pragma: no cover - exotic key types
         return f"p{index}"
+
+
+def _resolve_task_ref(ref: str) -> "tuple[Callable[..., dict], dict[str, Any]]":
+    """Resolve a string task: a built-in task name or a scenario reference.
+
+    A ``scenario://`` reference implies the built-in ``"scenario"`` task
+    with the reference's name and schema-validated parameters folded under
+    every point's params — the shape ``repro sweep scenario://...`` and
+    :func:`scenario_corpus` fan out.  Anything else is looked up in the
+    :data:`repro.exp.tasks.TASKS` registry (friendly error on a miss).
+    """
+    from .tasks import get_task
+
+    if ref.lstrip().startswith("scenario://"):
+        from ..app.scenarios import ScenarioError, get as get_scenario, parse_ref
+
+        try:
+            name, raw = parse_ref(ref)
+            values = get_scenario(name).validate(raw)
+        except ScenarioError as err:
+            raise SweepError(str(err)) from None
+        return get_task("scenario"), {"scenario": name, **values}
+    return get_task(ref), {}
+
+
+def scenario_corpus(
+    ref: str,
+    points: int = 25,
+    name: str | None = None,
+    seed: int = 0,
+    strict: bool = True,
+) -> Sweep:
+    """Fan one scenario reference into a seeded corpus sweep.
+
+    The workhorse behind ``repro sweep scenario://generated?seed=N
+    --points K``: point *i* builds the referenced scenario with seed
+    ``base_seed + i`` and runs it through the ``scenario`` task.  With
+    ``strict`` (the default) any unattributed Eq. 2–5 violation fails the
+    point, so the sweep's exit code *is* the conformance gate.
+
+    Only entries whose schema has a ``seed`` parameter (the generator) can
+    fan out — any other entry is deterministic, so a multi-point corpus
+    would repeat the identical run.
+    """
+    from ..app.scenarios import ScenarioError, get as get_scenario, parse_ref
+
+    try:
+        sname, raw = parse_ref(ref)
+        definition = get_scenario(sname)
+        values = definition.validate(raw)
+    except ScenarioError as err:
+        raise SweepError(str(err)) from None
+    points = int(points)
+    if points < 1:
+        raise SweepError(f"corpus needs >= 1 point, got {points}")
+    if name is None:
+        name = f"scenario_corpus_{sname}"
+    if "seed" in definition.schema:
+        base_seed = int(values.get("seed", 0))
+        base = {"scenario": sname, "strict": bool(strict),
+                **{k: v for k, v in values.items() if k != "seed"}}
+        axes = {"seed": [base_seed + i for i in range(points)]}
+        return Sweep.grid(name, "scenario", axes, base=base, seed=seed)
+    if points > 1:
+        raise SweepError(
+            f"scenario {sname!r} has no 'seed' parameter; a {points}-point "
+            "corpus would repeat the identical run — use --points 1 or a "
+            "generator-backed reference like scenario://generated?seed=0"
+        )
+    return Sweep(name, "scenario",
+                 [{"scenario": sname, "strict": bool(strict), **values}],
+                 seed=seed)

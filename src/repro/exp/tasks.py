@@ -31,6 +31,7 @@ __all__ = [
     "fig8_min_buffer",
     "pal_blocksizes",
     "conformance_margins",
+    "scenario_conformance",
 ]
 
 
@@ -177,12 +178,59 @@ def conformance_margins(params: dict[str, Any], ctx) -> dict[str, Any]:
     return {"ok": report.ok, "horizon": result.horizon, "streams": streams}
 
 
+def scenario_conformance(params: dict[str, Any], ctx) -> dict[str, Any]:
+    """Build a registered scenario, run it, gate on attributed conformance.
+
+    params: ``scenario`` (a registry name or reference — see
+    :mod:`repro.app.scenarios`), optional ``strict`` (raise on any
+    unattributed Eq. 2–5 violation so the sweep exits non-zero — the fuzz
+    corpus gate), every other key is validated against the entry's
+    parameter schema.
+    """
+    from ..app.scenarios import ScenarioError, build_scenario, parse_ref
+
+    p = dict(params)
+    try:
+        ref = p.pop("scenario")
+    except KeyError:
+        raise SweepError(
+            "scenario task needs a 'scenario' param (a registry name like "
+            "'generated', or a scenario:// reference)"
+        ) from None
+    strict = bool(p.pop("strict", False))
+    try:
+        scenario = build_scenario(ref, **p)
+    except ScenarioError as err:
+        raise SweepError(str(err)) from None
+    result = scenario.build(cache=ctx.cache if ctx is not None else None)
+    att = result.attributed_conformance()
+    rm = result.reconfig
+    body = {
+        "scenario": parse_ref(ref)[0],
+        "ok": att.report.ok,
+        "violations": len(att.attributions),
+        "unattributed": len(att.unattributed),
+        "fully_attributed": att.fully_attributed,
+        "horizon": result.horizon,
+        "streams": len(result.system.streams),
+        "transitions": 0 if rm is None else len(rm.transitions),
+    }
+    if strict and not att.fully_attributed:
+        raise SweepError(
+            f"scenario {ref!r}: {len(att.unattributed)} unattributed "
+            f"conformance violation(s): "
+            + "; ".join(str(v) for v in att.unattributed[:3])
+        )
+    return body
+
+
 TASKS: dict[str, Callable[..., dict]] = {
     "solve": solve_blocksizes,
     "scalability": scalability_blocksizes,
     "fig8-buffers": fig8_min_buffer,
     "pal-blocksizes": pal_blocksizes,
     "conformance": conformance_margins,
+    "scenario": scenario_conformance,
 }
 
 

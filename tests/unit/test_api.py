@@ -213,9 +213,27 @@ def test_load_scenario_missing_file():
 # -- deprecation shims --------------------------------------------------------
 
 def test_simulate_shim_warns_and_delegates(small_system):
-    with pytest.warns(DeprecationWarning, match="Scenario instead"):
+    with pytest.warns(DeprecationWarning,
+                      match=r"Scenario\(system\)\.build\(\)"):
         run = simulate(small_system, blocks=2, trace=False)
     assert all(m.blocks_done == 2 for m in run.metrics().values())
+
+
+def test_simulate_shim_matches_facade(small_system):
+    with pytest.warns(DeprecationWarning):
+        run = simulate(small_system, blocks=3, trace=False)
+    via_facade = (
+        Scenario(small_system).with_blocks(3).with_trace(False).build().run
+    )
+    assert run.horizon == via_facade.horizon
+    with pytest.warns(DeprecationWarning), pytest.raises(TypeError,
+                                                         match="bogus"):
+        simulate(small_system, bogus=1)
+
+
+def test_simulate_shim_requires_block_sizes(unsolved_system):
+    with pytest.warns(DeprecationWarning), pytest.raises(ParameterError):
+        simulate(unsolved_system, blocks=2)
 
 
 def test_cli_shim_warns(small_system):
@@ -233,6 +251,75 @@ def test_cli_shim_warns(small_system):
     assert run.horizon > 0
     with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
         _simulated_run(args, bogus=1)
+
+
+def test_implicit_pal_construction_warns_and_selects_decoder():
+    with pytest.warns(DeprecationWarning, match="PAL decoder"):
+        scenario = Scenario()
+    assert {s.name for s in scenario.system.streams} == {
+        "ch1.s1", "ch1.s2", "ch2.s1", "ch2.s2",
+    }
+
+
+# -- registry front door ------------------------------------------------------
+
+def test_from_registry_builds_named_scenario():
+    scenario = Scenario.from_registry("product_cipher", sessions=2)
+    assert len(scenario.system.streams) == 2
+    inline = Scenario.from_registry("product_cipher?sessions=2")
+    assert inline.system == scenario.system
+
+
+def test_report_churn_uses_modal_conformance():
+    # after an online re-solve the static model's η is stale; the run and
+    # conformance reports must carry the per-mode merged view instead of
+    # crashing on the η mismatch
+    result = Scenario.from_registry("multi_mode?modes=2&period=1200").build()
+    assert result.reconfig is not None
+    merged = result.mode_conformance().merged().to_dict()
+    assert result.report("run")["conformance"] == merged
+    conf = result.report("conformance")
+    assert conf["ok"] == merged["ok"]
+    assert conf["streams"] == merged["streams"]
+
+
+def test_from_registry_rejects_unknown(small_system):
+    from repro.app.scenarios import ScenarioError
+
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        Scenario.from_registry("no_such_thing")
+    with pytest.raises(ScenarioError, match="no parameter"):
+        Scenario.from_registry("generated", sede=1)
+
+
+def test_load_scenario_routes_registry_uris():
+    scenario = load_scenario("scenario://generated?seed=42")
+    from repro.app.scenarios import generate
+
+    assert scenario.system == generate(seed=42).system
+
+
+def test_run_result_clean_property(small_system):
+    result = Scenario(small_system).with_blocks(2).build()
+    assert result.clean is result.attributed_conformance().fully_attributed
+    assert result.clean
+
+
+def test_with_trace_capacity_validated(small_system):
+    s = Scenario(small_system).with_trace(True, mode="ring", capacity=128)
+    assert s.trace_capacity == 128
+    with pytest.raises(ParameterError, match="capacity"):
+        Scenario(small_system).with_trace(True, mode="ring", capacity=0)
+
+
+def test_with_no_fastpath_round_trips(small_system):
+    s = Scenario(small_system).with_no_fastpath()
+    assert s.no_fastpath is True
+    result_slow = s.with_blocks(2).build()
+    result_fast = Scenario(small_system).with_blocks(2).build()
+    # functional equivalence: the fast path is an optimisation only
+    assert {n: m.blocks_done for n, m in result_slow.metrics().items()} == \
+        {n: m.blocks_done for n, m in result_fast.metrics().items()}
 
 
 def test_facade_matches_direct_harness_call(small_system):

@@ -1,0 +1,141 @@
+"""The product-cipher kernels and application chain (second real app)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.accel import KernelError
+from repro.accel.cipher import (
+    KeyMixKernel,
+    PermuteBlockKernel,
+    SBoxKernel,
+    block_permutation,
+    invert_table,
+    product_decrypt,
+    product_encrypt,
+    sbox_table,
+)
+from repro.app.product_cipher import (
+    ProductCipherConfig,
+    cipher_gateway_system,
+    encrypt_functional,
+    run_cipher_on_soc,
+)
+from repro.core import ParameterError
+
+
+def bytes_for(n, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=n, dtype=np.int64)
+
+
+# -- tables -------------------------------------------------------------------
+
+def test_sbox_table_is_seeded_permutation():
+    a, b = sbox_table(7), sbox_table(7)
+    assert a == b and sorted(a) == list(range(256))
+    assert sbox_table(8) != a
+
+
+def test_invert_table_round_trips():
+    table = sbox_table(5)
+    inverse = invert_table(table)
+    assert [inverse[v] for v in table] == list(range(256))
+    with pytest.raises(KernelError, match="not a permutation"):
+        invert_table((0, 0, 1))
+
+
+def test_block_permutation_validates_width():
+    assert sorted(block_permutation(8, 1)) == list(range(8))
+    with pytest.raises(KernelError, match="width"):
+        block_permutation(0, 1)
+
+
+# -- kernels ------------------------------------------------------------------
+
+def test_keymix_is_involution():
+    data = bytes_for(32)
+    enc = KeyMixKernel((0x11, 0x22))
+    dec = KeyMixKernel((0x11, 0x22))
+    once = [v for s in data for v in enc.process(s)]
+    twice = [v for s in once for v in dec.process(s)]
+    assert twice == [int(v) for v in data]
+
+
+def test_keymix_state_round_trips_and_validates():
+    k = KeyMixKernel((1, 2, 3))
+    k.process(9)
+    clone = KeyMixKernel()
+    clone.set_state(pickle.loads(pickle.dumps(k.get_state())))
+    assert clone.process(5) == k.process(5)
+    with pytest.raises(KernelError, match="bad KeyMixKernel state"):
+        KeyMixKernel().set_state({"key": [1], "pos": 4})
+
+
+def test_sbox_rejects_non_permutation_state():
+    with pytest.raises(KernelError, match="permutation of range"):
+        SBoxKernel(seed=0).set_state({"table": [0] * 256})
+
+
+def test_permute_block_buffers_then_bursts():
+    p = PermuteBlockKernel((2, 0, 1))
+    assert p.process(10) == [] and p.process(11) == []
+    assert p.process(12) == [12, 10, 11]
+    with pytest.raises(KernelError, match="residue"):
+        PermuteBlockKernel((1, 0)).set_state({"perm": [1, 0],
+                                              "buffer": [1, 2]})
+
+
+def test_product_chain_round_trips():
+    data = bytes_for(64)
+    cipher = product_encrypt(data, sbox_seed=4)
+    assert not np.array_equal(cipher, data)
+    plain = product_decrypt(cipher, sbox_seed=4)
+    assert np.array_equal(plain, data)
+
+
+# -- application config -------------------------------------------------------
+
+def test_config_validates_eta_width_and_load():
+    with pytest.raises(ParameterError, match="multiple of the permutation"):
+        ProductCipherConfig(eta=10, width=8)
+    with pytest.raises(ParameterError, match="load_pct"):
+        ProductCipherConfig(load_pct=99)
+    with pytest.raises(ParameterError, match="at least one session"):
+        ProductCipherConfig(sessions=0)
+
+
+def test_gateway_system_shape_and_load():
+    config = ProductCipherConfig(sessions=4, load_pct=40)
+    system = cipher_gateway_system(config)
+    assert [a.rho for a in system.accelerators] == [1, 1, 2]
+    assert len(system.streams) == 4
+    assert len({s.throughput for s in system.streams}) == 1
+    # aggregate Eq. 5 load lands on the requested percentage
+    c0 = max(system.entry_copy, system.exit_copy,
+             *[a.rho for a in system.accelerators])
+    load = c0 * sum(s.throughput for s in system.streams)
+    assert float(load) == pytest.approx(0.40)
+
+
+def test_session_states_differ_between_sessions():
+    config = ProductCipherConfig()
+    s0, s1 = config.session_states(0), config.session_states(1)
+    assert s0[0]["key"] != s1[0]["key"]
+    assert s0[1]["table"] != s1[1]["table"]
+
+
+def test_soc_matches_functional_reference():
+    config = ProductCipherConfig(sessions=2, eta=8, width=4,
+                                 reconfigure_cycles=60)
+    plaintexts = {
+        "enc0": bytes_for(16, seed=1),
+        "enc1": bytes_for(16, seed=2),
+    }
+    out, handles = run_cipher_on_soc(config, plaintexts)
+    for i, name in enumerate(sorted(plaintexts)):
+        expected = encrypt_functional(plaintexts[name], config, session=i)
+        assert np.array_equal(out[name], expected), name
+    metrics = handles.stream_metrics()
+    assert all(m.blocks_done >= 2 for m in metrics.values())

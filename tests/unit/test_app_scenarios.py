@@ -1,0 +1,180 @@
+"""The scenario registry: registration, lookup, refs, schemas, builders."""
+
+import pytest
+
+from repro.api import Scenario
+from repro.app import scenarios
+from repro.app.scenarios import (
+    Param,
+    ScenarioError,
+    build_scenario,
+    format_ref,
+    generate,
+    parse_ref,
+    register,
+)
+from repro.sim.faults import STREAM_JOIN, STREAM_LEAVE
+
+
+# -- registry surface ---------------------------------------------------------
+
+def test_builtin_entries_registered():
+    assert scenarios.names() == [
+        "generated", "multi_mode", "pal_decoder", "product_cipher",
+    ]
+
+
+def test_get_unknown_has_did_you_mean():
+    with pytest.raises(ScenarioError, match="did you mean 'pal_decoder'"):
+        scenarios.get("pal_decodr")
+
+
+def test_describe_lists_parameters():
+    text = scenarios.describe("product_cipher")
+    assert "product_cipher" in text
+    assert "sessions" in text and "default 3" in text
+
+
+def test_register_rejects_bad_name():
+    with pytest.raises(ScenarioError, match="alphanumeric"):
+        register("bad name!", description="x")
+
+
+def test_register_rejects_duplicate_name():
+    with pytest.raises(ScenarioError, match="already registered"):
+        register("pal_decoder", description="again")(lambda: None)
+
+
+def test_register_rejects_duplicate_param():
+    with pytest.raises(ScenarioError, match="duplicate parameter"):
+        register(
+            "fresh_entry",
+            description="x",
+            params=(Param("a"), Param("a")),
+        )
+
+
+# -- parameter schema ---------------------------------------------------------
+
+def test_validate_merges_defaults_and_coerces_strings():
+    values = scenarios.get("generated").validate({"seed": "9", "blocks": 2})
+    assert values["seed"] == 9 and values["blocks"] == 2
+    assert values["chain_max"] == 3  # default survives
+
+
+def test_validate_unknown_param_did_you_mean():
+    with pytest.raises(ScenarioError, match="did you mean 'sessions'"):
+        scenarios.get("product_cipher").validate({"session": 4})
+
+
+def test_param_range_and_choices_enforced():
+    with pytest.raises(ScenarioError, match="below the minimum"):
+        scenarios.get("product_cipher").validate({"sessions": 0})
+    with pytest.raises(ScenarioError, match="above the maximum"):
+        scenarios.get("product_cipher").validate({"load_pct": 99})
+    p = Param("mode", str, "a", choices=("a", "b"))
+    with pytest.raises(ScenarioError, match="not one of"):
+        p.coerce("c")
+
+
+def test_param_bool_coercion():
+    p = Param("flag", bool, False)
+    assert p.coerce("yes") is True and p.coerce("0") is False
+    with pytest.raises(ScenarioError, match="not a boolean"):
+        p.coerce("maybe")
+    with pytest.raises(ScenarioError, match="expected bool"):
+        p.coerce(3)
+
+
+def test_param_rejects_unparsable_string():
+    with pytest.raises(ScenarioError, match="cannot parse"):
+        Param("n", int).coerce("twelve")
+
+
+# -- references ---------------------------------------------------------------
+
+def test_parse_ref_forms():
+    assert parse_ref("generated") == ("generated", {})
+    assert parse_ref("generated?seed=3&blocks=2") == (
+        "generated", {"seed": "3", "blocks": "2"}
+    )
+    assert parse_ref("scenario://generated?seed=3") == (
+        "generated", {"seed": "3"}
+    )
+
+
+def test_parse_ref_rejects_wrong_scheme_path_and_repeats():
+    with pytest.raises(ScenarioError, match="scheme"):
+        parse_ref("http://generated")
+    with pytest.raises(ScenarioError, match="unexpected path"):
+        parse_ref("scenario://generated/extra")
+    with pytest.raises(ScenarioError, match="repeats parameter"):
+        parse_ref("generated?seed=1&seed=2")
+    with pytest.raises(ScenarioError, match="names no scenario"):
+        parse_ref("scenario://?seed=1")
+
+
+def test_format_ref_round_trips():
+    ref = format_ref("generated", {"seed": 5})
+    assert ref == "scenario://generated?seed=5"
+    assert parse_ref(ref) == ("generated", {"seed": "5"})
+
+
+def test_build_scenario_rejects_param_in_both_spellings():
+    with pytest.raises(ScenarioError, match="pick one spelling"):
+        build_scenario("generated?seed=1", seed=2)
+
+
+# -- built-in builders --------------------------------------------------------
+
+def test_pal_decoder_matches_analysis_bridge():
+    from repro.app.analysis_bridge import pal_gateway_system
+
+    scenario = build_scenario("pal_decoder")
+    reference = pal_gateway_system().with_block_sizes({
+        "ch1.s1": 64, "ch2.s1": 64, "ch1.s2": 8, "ch2.s2": 8,
+    })
+    assert scenario.system == reference
+
+
+def test_pal_decoder_eta_zero_defers_to_solver():
+    scenario = build_scenario("pal_decoder?eta_stage1=0&eta_stage2=0")
+    assert all(s.block_size is None for s in scenario.system.streams)
+    with pytest.raises(ScenarioError, match="both"):
+        build_scenario("pal_decoder?eta_stage1=0")
+
+
+def test_product_cipher_builds_three_tile_chain():
+    scenario = build_scenario("product_cipher", sessions=2)
+    assert [a.name for a in scenario.system.accelerators] == [
+        "keymix", "sbox", "permute",
+    ]
+    assert len(scenario.system.streams) == 2
+    unsolved = build_scenario("product_cipher?eta=0")
+    assert all(s.block_size is None for s in unsolved.system.streams)
+
+
+def test_multi_mode_schedule_shape():
+    scenario = build_scenario("multi_mode", modes=2, streams=1, period=1000)
+    assert isinstance(scenario, Scenario)
+    plan = scenario.faults
+    kinds = [s.kind for s in plan.specs]
+    assert kinds == [STREAM_JOIN, STREAM_LEAVE] * 2
+    joins = [s for s in plan.specs if s.kind == STREAM_JOIN]
+    assert [s.at for s in joins] == [1000, 2000]
+    # mode-dependent transition delay grows with the mode index
+    assert joins[1].params["reconfigure"] > joins[0].params["reconfigure"]
+
+
+def test_generate_is_deterministic_and_seed_sensitive():
+    a, b = generate(seed=11), generate(seed=11)
+    assert a.system == b.system
+    assert a.faults == b.faults and a.blocks == b.blocks
+    assert any(
+        generate(seed=s).system != a.system for s in (12, 13, 14)
+    )
+
+
+def test_generate_rejects_degenerate_knobs():
+    with pytest.raises(ScenarioError, match=">= 1"):
+        generate(seed=0, chain_max=0)

@@ -107,7 +107,34 @@ def test_closure_task_rejected_up_front():
 
 def test_non_callable_task_rejected():
     with pytest.raises(SweepError, match="must be callable"):
+        Sweep("s", 42, [{"a": 1}])
+
+
+def test_unknown_task_name_rejected():
+    # strings resolve through the built-in task registry
+    with pytest.raises(SweepError, match="unknown sweep task"):
         Sweep("s", "not-a-task", [{"a": 1}])
+
+
+def test_task_name_resolves_builtin():
+    sweep = Sweep("s", "fig8-buffers", [{"eta": 2}])
+    from repro.exp.tasks import fig8_min_buffer
+
+    assert sweep.task is fig8_min_buffer
+
+
+def test_scenario_ref_task_folds_params():
+    sweep = Sweep("s", "scenario://generated?seed=7", [{"blocks": 2}])
+    point = sweep.points[0]
+    assert point.params["scenario"] == "generated"
+    assert point.params["seed"] == 7
+    # explicit point params win over the reference's values
+    assert point.params["blocks"] == 2
+
+
+def test_scenario_ref_task_validates_eagerly():
+    with pytest.raises(SweepError, match="did you mean"):
+        Sweep("s", "scenario://generated?sede=7", [{"a": 1}])
 
 
 def test_non_json_params_rejected():
